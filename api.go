@@ -1,0 +1,254 @@
+// Package tc2d is a distributed-memory parallel triangle counting library —
+// a from-scratch Go reproduction of Tom & Karypis, "A 2D Parallel Triangle
+// Counting Algorithm for Distributed-Memory Architectures" (ICPP 2019).
+//
+// The core algorithm decomposes the triangle counting computation C[L] = U·L
+// over a √p × √p process grid with a 2D cyclic distribution and schedules the
+// √p partial products with Cannon's communication pattern. Ranks are
+// goroutines exchanging messages through an MPI-like runtime with a
+// LogGP-style virtual-time model, so the library reports both real wall time
+// and modeled parallel time for any rank count.
+//
+// # Quick start
+//
+//	g, _ := tc2d.NewGraph(4, []tc2d.Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+//	res, _ := tc2d.Count(g, tc2d.Options{Ranks: 4})
+//	fmt.Println(res.Triangles) // 4
+//
+// Besides the paper's algorithm, the package exposes the sequential
+// reference counters, the RMAT/Graph500 generators used for the paper's
+// synthetic datasets, and graph statistics built on triangle counts
+// (transitivity, clustering coefficients, edge support).
+package tc2d
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"tc2d/internal/core"
+	"tc2d/internal/dgraph"
+	"tc2d/internal/graph"
+	"tc2d/internal/mpi"
+	"tc2d/internal/rmat"
+	"tc2d/internal/seqtc"
+)
+
+// Graph is a simple undirected graph in CSR form (adjacency lists sorted,
+// both directions stored, no self loops or duplicates).
+type Graph = graph.Graph
+
+// Edge is one undirected edge.
+type Edge = graph.Edge
+
+// Result carries the outcome of a distributed count: the triangle count,
+// per-phase parallel (virtual) times, communication fractions and operation
+// counters. See the field documentation in the core package.
+type Result = core.Result
+
+// Enumeration selects the triangle enumeration rule.
+type Enumeration = core.Enumeration
+
+// Enumeration rules: ⟨j,i,k⟩ (the paper's default) and ⟨i,j,k⟩.
+const (
+	EnumJIK = core.EnumJIK
+	EnumIJK = core.EnumIJK
+)
+
+// RMATParams are RMAT generator quadrant probabilities.
+type RMATParams = rmat.Params
+
+// Generator presets: the Graph500 parameters used for the paper's g500
+// datasets and the scaled-down stand-ins for its real-world graphs.
+var (
+	G500          = rmat.G500
+	Twitterish    = rmat.Twitterish
+	Friendsterish = rmat.Friendsterish
+)
+
+// Options configures a distributed count. The zero value runs the paper's
+// full configuration on 1 rank.
+type Options struct {
+	// Ranks is the number of SPMD ranks; it must be a perfect square
+	// (default 1).
+	Ranks int
+
+	// Enumeration selects ⟨j,i,k⟩ (default, recommended) or ⟨i,j,k⟩.
+	Enumeration Enumeration
+	// Optimization kill switches, for ablation studies (§5.2/§7.3 of the
+	// paper). All false means fully optimized.
+	NoDoublySparse bool
+	NoDirectHash   bool
+	NoEarlyBreak   bool
+	NoBlob         bool
+	// TrackPerShift records per-shift kernel times in the Result.
+	TrackPerShift bool
+
+	// ForceSUMMA schedules the computation with SUMMA broadcasts even for
+	// square rank counts. Non-square rank counts always use SUMMA (the
+	// rectangular-grid extension of the paper's §8); square ones default
+	// to Cannon shifts.
+	ForceSUMMA bool
+
+	// Alpha, Beta and Overhead override the communication cost model
+	// (seconds, bytes/second, seconds). Zero values use InfiniBand-class
+	// defaults (2µs, 6GB/s, 0.5µs).
+	Alpha, Beta, Overhead float64
+	// ComputeSlots bounds concurrently measured compute sections: 1 gives
+	// contention-free virtual-time measurements (benchmarking); 0 defaults
+	// to GOMAXPROCS (fastest wall time, fine for counting).
+	ComputeSlots int
+}
+
+func (o Options) coreOptions() core.Options {
+	return core.Options{
+		Enumeration:    o.Enumeration,
+		NoDoublySparse: o.NoDoublySparse,
+		NoDirectHash:   o.NoDirectHash,
+		NoEarlyBreak:   o.NoEarlyBreak,
+		NoBlob:         o.NoBlob,
+		TrackPerShift:  o.TrackPerShift,
+	}
+}
+
+func (o Options) mpiConfig() mpi.Config {
+	model := mpi.DefaultCostModel()
+	if o.Alpha != 0 {
+		model.Alpha = o.Alpha
+	}
+	if o.Beta != 0 {
+		model.Beta = o.Beta
+	}
+	if o.Overhead != 0 {
+		model.Overhead = o.Overhead
+	}
+	slots := o.ComputeSlots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	return mpi.Config{Model: model, ComputeSlots: slots}
+}
+
+func (o Options) ranks() (int, error) {
+	p := o.Ranks
+	if p == 0 {
+		p = 1
+	}
+	if p < 0 {
+		return 0, fmt.Errorf("tc2d: Ranks=%d", p)
+	}
+	return p, nil
+}
+
+// useSUMMA reports whether the run needs the SUMMA schedule.
+func (o Options) useSUMMA(p int) bool {
+	return o.ForceSUMMA || mpi.SquareSide(p) < 0
+}
+
+// NewGraph builds a simple undirected graph from an edge list (self loops
+// dropped, duplicates merged, both directions stored).
+func NewGraph(n int32, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// ReadEdgeList parses a whitespace-separated text edge list ('#'/'%'
+// comments allowed). Pass n <= 0 to infer the vertex count.
+func ReadEdgeList(r io.Reader, n int32) (*Graph, error) {
+	return graph.ReadEdgeList(r, n)
+}
+
+// WriteEdgeList writes the graph as a text edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// GenerateRMAT generates an RMAT graph with 2^scale vertices and
+// edgeFactor·2^scale raw edges (deduplicated), deterministically in seed.
+func GenerateRMAT(params RMATParams, scale, edgeFactor int, seed uint64) (*Graph, error) {
+	return params.Generate(scale, edgeFactor, seed)
+}
+
+// Count counts the triangles of g with the paper's 2D distributed algorithm
+// on opt.Ranks SPMD ranks (goroutines) and returns the global result.
+// Square rank counts use Cannon's shift schedule (the paper's algorithm);
+// other rank counts use the SUMMA broadcast schedule on the most square
+// qr × qc grid (the extension sketched in the paper's conclusion).
+func Count(g *Graph, opt Options) (*Result, error) {
+	return countInput(dgraph.ScatterInput{Graph: g}, opt)
+}
+
+// CountRMAT generates an RMAT graph in parallel on the ranks themselves (as
+// the paper does for its g500 inputs) and counts its triangles.
+func CountRMAT(params RMATParams, scale, edgeFactor int, seed uint64, opt Options) (*Result, error) {
+	in := dgraph.RMATInput{Params: params, Scale: scale, EdgeFactor: edgeFactor, Seed: seed}
+	return countInput(in, opt)
+}
+
+func countInput(in dgraph.Input, opt Options) (*Result, error) {
+	p, err := opt.ranks()
+	if err != nil {
+		return nil, err
+	}
+	if !opt.useSUMMA(p) {
+		return core.CountGraph(p, opt.mpiConfig(), in, opt.coreOptions())
+	}
+	results, err := mpi.Run(p, opt.mpiConfig(), func(c *mpi.Comm) (any, error) {
+		d, err := in.Build(c)
+		if err != nil {
+			return nil, err
+		}
+		return core.CountSUMMA(c, d, opt.coreOptions())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results[0].(*core.Result), nil
+}
+
+// CountSequential counts triangles with the fastest sequential reference
+// (degree ordering + map-based ⟨j,i,k⟩). It is the oracle the distributed
+// algorithm is validated against and the t₁ baseline for speedups.
+func CountSequential(g *Graph) int64 { return seqtc.Count(g) }
+
+// CountShared counts triangles with the shared-memory parallel reference
+// using the given number of workers (0 = GOMAXPROCS).
+func CountShared(g *Graph, workers int) int64 { return seqtc.CountParallel(g, workers) }
+
+// Transitivity returns the global clustering coefficient of g:
+// 3·triangles / #wedges, where a wedge is an unordered path of length two.
+func Transitivity(g *Graph) float64 {
+	var wedges int64
+	for v := int32(0); v < g.N; v++ {
+		d := int64(g.Degree(v))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(seqtc.Count(g)) / float64(wedges)
+}
+
+// ClusteringCoefficients returns each vertex's local clustering coefficient
+// (triangles through v over d(v)·(d(v)-1)/2) and the average over vertices
+// of degree >= 2.
+func ClusteringCoefficients(g *Graph) (perVertex []float64, average float64) {
+	counts := seqtc.PerVertexCounts(g)
+	perVertex = make([]float64, g.N)
+	var sum float64
+	var eligible int64
+	for v := int32(0); v < g.N; v++ {
+		d := int64(g.Degree(v))
+		if d < 2 {
+			continue
+		}
+		perVertex[v] = float64(counts[v]) / float64(d*(d-1)/2)
+		sum += perVertex[v]
+		eligible++
+	}
+	if eligible > 0 {
+		average = sum / float64(eligible)
+	}
+	return perVertex, average
+}
+
+// EdgeSupport returns the number of triangles containing each undirected
+// edge — the quantity a k-truss decomposition is built on.
+func EdgeSupport(g *Graph) map[Edge]int32 { return seqtc.EdgeSupport(g) }

@@ -1,0 +1,185 @@
+// Benchmarks, one per table/figure of the paper's evaluation section. Each
+// wraps the corresponding harness driver at a reduced scale so that
+// `go test -bench=.` completes in minutes; `cmd/tcbench` runs the full-scale
+// versions and prints the paper-shaped tables.
+package tc2d
+
+import (
+	"io"
+	"testing"
+
+	"tc2d/internal/harness"
+	"tc2d/internal/mpi"
+)
+
+// benchSpecs are the Table 1 stand-ins, shrunk for benchmarking.
+func benchSpecs() []harness.Spec { return harness.DefaultSpecs(-5) }
+
+func benchCfg() harness.Config {
+	return harness.Config{
+		Model: mpi.DefaultCostModel(),
+		Ranks: []int{16, 25, 36},
+	}
+}
+
+// BenchmarkTable1Datasets regenerates the dataset inventory (Table 1).
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Table1(io.Discard, benchSpecs()[:2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Scaling runs the rank sweep behind Table 2.
+func BenchmarkTable2Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunScaling(benchSpecs()[:1], benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := harness.Table2(io.Discard, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Efficiency derives the efficiency curves (Figure 1).
+func BenchmarkFigure1Efficiency(b *testing.B) {
+	rows, err := harness.RunScaling(benchSpecs()[:1], benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Figure1(io.Discard, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2OpRate derives the operation-rate series (Figure 2).
+func BenchmarkFigure2OpRate(b *testing.B) {
+	specs := benchSpecs()
+	rows, err := harness.RunScaling(specs[:1], benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Figure2(io.Discard, rows, specs[0].Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3CommFraction derives the communication fractions (Fig 3).
+func BenchmarkFigure3CommFraction(b *testing.B) {
+	specs := benchSpecs()
+	rows, err := harness.RunScaling(specs[:1], benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Figure3(io.Discard, rows, specs[0].Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3LoadImbalance measures per-shift load imbalance (Table 3).
+func BenchmarkTable3LoadImbalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Table3(io.Discard, benchSpecs()[0], []int{25, 36}, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4RedundantWork measures task-count growth (Table 4).
+func BenchmarkTable4RedundantWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Table4(io.Discard, benchSpecs()[0], []int{16, 25, 36}, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5VersusHavoq compares against the Havoq baseline (Table 5).
+func BenchmarkTable5VersusHavoq(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Table5(io.Discard, benchSpecs()[:2], 16, 16, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6VersusOthers compares against AOP/Surrogate/OPT-PSP
+// (Table 6).
+func BenchmarkTable6VersusOthers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Table6(io.Discard, benchSpecs()[2], 16, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOptimizations measures the §7.3 optimization gains.
+func BenchmarkAblationOptimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Ablation(io.Discard, benchSpecs()[0], []int{16}, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreKernel measures raw end-to-end counting throughput on one
+// in-memory graph across grid sizes (not tied to a paper exhibit; useful for
+// regression tracking).
+func BenchmarkCoreKernel(b *testing.B) {
+	g, err := GenerateRMAT(G500, 12, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4, 16} {
+		b.Run(rankLabel(p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Count(g, Options{Ranks: p, ComputeSlots: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Triangles == 0 {
+					b.Fatal("no triangles")
+				}
+			}
+		})
+	}
+}
+
+func rankLabel(p int) string {
+	switch p {
+	case 1:
+		return "ranks=1"
+	case 4:
+		return "ranks=4"
+	default:
+		return "ranks=16"
+	}
+}
+
+// BenchmarkSequentialReference measures the sequential oracle for the same
+// graph, giving the t1 baseline for by-hand speedup computations.
+func BenchmarkSequentialReference(b *testing.B) {
+	g, err := GenerateRMAT(G500, 12, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if CountSequential(g) == 0 {
+			b.Fatal("no triangles")
+		}
+	}
+}

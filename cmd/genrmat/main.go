@@ -1,0 +1,74 @@
+// Command genrmat writes synthetic graphs to edge-list files.
+//
+// Usage:
+//
+//	genrmat -scale 16 -ef 16 -params g500 -o g500-s16.txt
+//	genrmat -er-n 100000 -er-m 1600000 -o er.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tc2d"
+	"tc2d/internal/rmat"
+)
+
+func main() {
+	var (
+		scale  = flag.Int("scale", 0, "RMAT scale (2^scale vertices)")
+		ef     = flag.Int("ef", 16, "RMAT edge factor")
+		params = flag.String("params", "g500", "preset: g500, twitterish, friendsterish")
+		erN    = flag.Int64("er-n", 0, "Erdős–Rényi vertex count (instead of RMAT)")
+		erM    = flag.Int64("er-m", 0, "Erdős–Rényi edge samples")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *tc2d.Graph
+	var err error
+	switch {
+	case *erN > 0:
+		g, err = rmat.ErdosRenyi(int32(*erN), *erM, *seed)
+	case *scale > 0:
+		var p tc2d.RMATParams
+		switch *params {
+		case "g500":
+			p = tc2d.G500
+		case "twitterish":
+			p = tc2d.Twitterish
+		case "friendsterish":
+			p = tc2d.Friendsterish
+		default:
+			fatalf("unknown params preset %q", *params)
+		}
+		g, err = tc2d.GenerateRMAT(p, *scale, *ef, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "genrmat: need -scale or -er-n; see -help")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tc2d.WriteEdgeList(w, g); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "genrmat: wrote %d vertices, %d edges\n", g.N, g.NumEdges())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "genrmat: "+format+"\n", args...)
+	os.Exit(1)
+}

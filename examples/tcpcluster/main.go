@@ -1,0 +1,56 @@
+// TCP cluster demo: runs the full 2D triangle counting pipeline with every
+// message travelling over real loopback TCP sockets (length-prefixed binary
+// frames, one full-duplex connection per rank pair) instead of in-process
+// channels. The SPMD algorithm code is byte-for-byte the same — only the
+// transport changes — demonstrating the wire discipline a multi-machine
+// deployment needs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tc2d"
+	"tc2d/internal/core"
+	"tc2d/internal/dgraph"
+	"tc2d/internal/mpi"
+	"tc2d/internal/rmat"
+)
+
+func main() {
+	const ranks = 9
+	const scale, ef = 12, 16
+
+	world, err := mpi.NewTCPWorld(ranks, mpi.Config{ComputeSlots: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+	fmt.Printf("TCP world up: %d ranks, %d loopback connections\n",
+		ranks, ranks*(ranks-1)/2)
+
+	results, err := world.Run(func(c *mpi.Comm) (any, error) {
+		in, err := dgraph.GenerateRMAT1D(c, rmat.G500, scale, ef, 77)
+		if err != nil {
+			return nil, err
+		}
+		return core.Count(c, in, core.Options{})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := results[0].(*core.Result)
+	fmt.Printf("graph: %d vertices, %d edges\n", res.N, res.M)
+	fmt.Printf("triangles over TCP: %d\n", res.Triangles)
+
+	// Cross-check against the in-memory sequential counter.
+	g, err := tc2d.GenerateRMAT(tc2d.G500, scale, ef, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := tc2d.CountSequential(g)
+	if want != res.Triangles {
+		log.Fatalf("mismatch: sequential %d, TCP-distributed %d", want, res.Triangles)
+	}
+	fmt.Printf("sequential check: OK (%d)\n", want)
+}

@@ -1,0 +1,96 @@
+package core
+
+import "tc2d/internal/hashset"
+
+// kernelCounters accumulates the instrumentation the paper reports.
+type kernelCounters struct {
+	triangles int64
+	probes    int64 // hash-map lookups (Fig 2's tct ops; §7.1's probe metric)
+	mapTasks  int64 // (task, shift) pairs that ran a map intersection (Table 4)
+}
+
+// runKernel counts the triangles contributed by one Cannon shift: for every
+// task (a, b) — local row a, local column b — hash the current U-block row a
+// once and probe the current L-block column b against it (map-based
+// intersection, §3.1/§5.1). Every hit is one triangle.
+//
+// Optimizations (§5.2), each toggleable:
+//   - doubly-sparse traversal: iterate only non-empty task rows;
+//   - direct hashing: when the row's largest key fits under the map mask,
+//     insert/lookup with a single bitwise AND, no probing;
+//   - early break: probe the (ascending sorted) column backwards and stop
+//     at the first key below the hashed row's minimum.
+func runKernel(task *csrBlock, taskRows []int32, u *csrBlock, l *cscBlock, set *hashset.Set, opt Options, kc *kernelCounters) {
+	mask := set.Mask()
+	iterate := func(a int32) {
+		tcols := task.row(a)
+		if len(tcols) == 0 {
+			return
+		}
+		urow := u.row(a)
+		if len(urow) == 0 {
+			// No U entries for this row in the current residue class:
+			// nothing can intersect this shift.
+			return
+		}
+		direct := !opt.NoDirectHash && urow[len(urow)-1] <= mask
+		set.Reset(direct)
+		for _, k := range urow {
+			set.Insert(k)
+		}
+		minKey := urow[0] // rows are sorted ascending
+		for _, b := range tcols {
+			col := l.col(b)
+			if len(col) == 0 {
+				continue
+			}
+			kc.mapTasks++
+			if !opt.NoEarlyBreak {
+				for idx := len(col) - 1; idx >= 0; idx-- {
+					k := col[idx]
+					if k < minKey {
+						break
+					}
+					kc.probes++
+					if set.Contains(k) {
+						kc.triangles++
+					}
+				}
+			} else {
+				for _, k := range col {
+					kc.probes++
+					if set.Contains(k) {
+						kc.triangles++
+					}
+				}
+			}
+		}
+	}
+	if !opt.NoDoublySparse {
+		for _, a := range taskRows {
+			iterate(a)
+		}
+	} else {
+		for a := int32(0); a < task.rows; a++ {
+			iterate(a)
+		}
+	}
+}
+
+// newKernelSet sizes the intersection hash map. Keys are local k indices
+// (< ceil(n/q)); the capacity is the smaller of the full local range (which
+// makes every row eligible for collision-free direct hashing) and 8× the
+// globally largest U-block row (which bounds the probing load factor at 1/8
+// when the range is too large to materialize).
+func newKernelSet(blk *blocks) *hashset.Set {
+	localRange := int((blk.n + int64(blk.q) - 1) / int64(blk.q))
+	byRow := int(8 * blk.maxURow)
+	capHint := localRange
+	if byRow < capHint {
+		capHint = byRow
+	}
+	if capHint < 64 {
+		capHint = 64
+	}
+	return hashset.New(capHint)
+}

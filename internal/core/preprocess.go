@@ -1,0 +1,199 @@
+package core
+
+import (
+	"tc2d/internal/dgraph"
+	"tc2d/internal/mpi"
+)
+
+// Preprocessing (§5.3 of the paper), three distributed steps:
+//
+//   (i)  initial cyclic redistribution of the 1D-distributed graph with
+//        relabeling, to break up localized dense regions;
+//   (ii) distributed counting sort that relabels vertices in non-decreasing
+//        degree order, with an all-to-all exchange to resolve the new labels
+//        of remote neighbours;
+//   (iii)+(iv) 2D cyclic redistribution that forms, on every grid rank, the
+//        upper-triangular block U_{x,y} (CSR), the lower-triangular block
+//        L_{x,y} (CSC) and the task block (CSR), in local indices.
+
+// numWithResidue counts integers in [0,n) congruent to r mod q.
+func numWithResidue(n int64, q, r int) int32 {
+	if int64(r) >= n {
+		return 0
+	}
+	return int32((n - int64(r) + int64(q) - 1) / int64(q))
+}
+
+// cyclicRedistribute implements step (i): vertex v moves to rank v mod p and
+// is relabeled to newid(v) = offset[v mod p] + v div p, which makes every
+// rank's ownership a contiguous range again (identical to BlockRange of the
+// new labels, because the first n mod p ranks receive one extra vertex).
+func cyclicRedistribute(c *mpi.Comm, in *dgraph.Dist1D, ops *int64) *dgraph.Dist1D {
+	p := c.Size()
+	n := in.N
+	offset := make([]int64, p+1)
+	for r := 0; r < p; r++ {
+		offset[r+1] = offset[r] + int64(numWithResidue(n, p, r))
+	}
+	newid := func(v int32) int32 {
+		return int32(offset[int(v)%p] + int64(v)/int64(p))
+	}
+
+	sendbuf := make([][]int32, p)
+	c.Compute(func() {
+		for v := in.VBeg; v < in.VEnd; v++ {
+			dst := int(v) % p
+			row := in.Neighbors(v)
+			buf := sendbuf[dst]
+			buf = append(buf, newid(v), int32(len(row)))
+			for _, u := range row {
+				buf = append(buf, newid(u))
+			}
+			sendbuf[dst] = buf
+			*ops += int64(len(row)) + 1
+		}
+	})
+	got := c.AlltoallvInt32(sendbuf)
+
+	out := &dgraph.Dist1D{N: n, VBeg: int32(offset[c.Rank()]), VEnd: int32(offset[c.Rank()+1])}
+	c.Compute(func() {
+		nloc := int(out.VEnd - out.VBeg)
+		deg := make([]int64, nloc+1)
+		for _, part := range got {
+			i := 0
+			for i < len(part) {
+				lv := part[i] - out.VBeg
+				d := part[i+1]
+				deg[lv+1] = int64(d)
+				i += 2 + int(d)
+			}
+		}
+		xadj := make([]int64, nloc+1)
+		for v := 0; v < nloc; v++ {
+			xadj[v+1] = xadj[v] + deg[v+1]
+		}
+		adj := make([]int32, xadj[nloc])
+		for _, part := range got {
+			i := 0
+			for i < len(part) {
+				lv := part[i] - out.VBeg
+				d := int(part[i+1])
+				copy(adj[xadj[lv]:xadj[lv]+int64(d)], part[i+2:i+2+d])
+				i += 2 + d
+				*ops += int64(d)
+			}
+		}
+		out.Xadj = xadj
+		out.Adj = adj
+	})
+	return out
+}
+
+// relabeled holds the graph after the degree relabeling of step (ii): the
+// same vertices stay on the same ranks, but every id (owned and neighbour)
+// is replaced by its position in the global non-decreasing-degree order.
+type relabeled struct {
+	n      int64
+	labels []int32 // new label of local vertex lv
+	xadj   []int64
+	adj    []int32 // neighbour lists in new labels
+}
+
+// degreeRelabel implements step (ii) via the shared distributed counting
+// sort (dgraph.DegreeLabels): ties within a degree are broken by current id,
+// making the permutation deterministic. Vertices stay on their ranks — only
+// the labels change — because step (iii) redistributes by the 2D pattern
+// anyway.
+func degreeRelabel(c *mpi.Comm, in *dgraph.Dist1D, ops *int64) *relabeled {
+	labels, newAdj := dgraph.DegreeLabels(c, in, ops)
+	return &relabeled{n: in.N, labels: labels, xadj: in.Xadj, adj: newAdj}
+}
+
+// blocks is the per-rank state after the 2D cyclic redistribution: the task
+// block (CSR, rows residue x → cols residue y), the owned U block (CSR) and
+// the owned L block (CSC), all in local indices (global id div q).
+type blocks struct {
+	q, x, y  int
+	n        int64
+	nRowsX   int32 // locals with residue x (row dimension of task and U)
+	nColsY   int32 // locals with residue y (col dimension of task and L)
+	task     csrBlock
+	taskRows []int32 // doubly-sparse non-empty row list
+	ublk     csrBlock
+	lblk     cscBlock
+	// maxURow is the global maximum U-block row length (allreduced), used
+	// to size the intersection hash map identically on all ranks.
+	maxURow int64
+}
+
+// build2D implements steps (iii)+(iv): every directed pair (w_v → w_u) of
+// the relabeled graph is routed to grid rank (w_v mod q, w_u mod q); pairs
+// with w_u > w_v form U entries, pairs with w_u < w_v form L entries. The
+// task block is the L pattern for ⟨j,i,k⟩ and the U pattern for ⟨i,j,k⟩.
+func build2D(c *mpi.Comm, grid *mpi.Grid, rl *relabeled, enum Enumeration, ops *int64) *blocks {
+	q := grid.Q()
+	p := c.Size()
+
+	sendbuf := make([][]int32, p)
+	c.Compute(func() {
+		nloc := len(rl.labels)
+		for lv := 0; lv < nloc; lv++ {
+			wv := rl.labels[lv]
+			row := rl.adj[rl.xadj[lv]:rl.xadj[lv+1]]
+			for _, wu := range row {
+				dst := int(wv)%q*q + int(wu)%q
+				sendbuf[dst] = append(sendbuf[dst], wv, wu)
+				*ops++
+			}
+		}
+	})
+	got := c.AlltoallvInt32(sendbuf)
+
+	blk := &blocks{
+		q: q, x: grid.Row(), y: grid.Col(), n: rl.n,
+		nRowsX: numWithResidue(rl.n, q, grid.Row()),
+		nColsY: numWithResidue(rl.n, q, grid.Col()),
+	}
+	c.Compute(func() {
+		qi := int32(q)
+		// Split received pairs into U entries and L entries, converting to
+		// local indices.
+		var uPairs, lByCol, taskPairs []int32
+		for _, part := range got {
+			for i := 0; i < len(part); i += 2 {
+				wv, wu := part[i], part[i+1]
+				lr, lc := wv/qi, wu/qi
+				if wu > wv {
+					// U entry (row wv, col wu).
+					uPairs = append(uPairs, lr, lc)
+					if enum == EnumIJK {
+						taskPairs = append(taskPairs, lr, lc)
+					}
+				} else {
+					// L entry (row wv=j, col wu=i): CSC keyed by column.
+					lByCol = append(lByCol, lc, lr)
+					if enum == EnumJIK {
+						taskPairs = append(taskPairs, lr, lc)
+					}
+				}
+				*ops++
+			}
+		}
+		blk.ublk = buildCSR(blk.nRowsX, [][]int32{uPairs})
+		lcsr := buildCSR(blk.nColsY, [][]int32{lByCol})
+		blk.lblk = cscBlock{cols: lcsr.rows, xadj: lcsr.xadj, adj: lcsr.adj}
+		blk.task = buildCSR(blk.nRowsX, [][]int32{taskPairs})
+		blk.taskRows = blk.task.nonEmptyRows()
+	})
+
+	var maxRow int64
+	c.Compute(func() {
+		for a := int32(0); a < blk.ublk.rows; a++ {
+			if l := int64(blk.ublk.xadj[a+1] - blk.ublk.xadj[a]); l > maxRow {
+				maxRow = l
+			}
+		}
+	})
+	blk.maxURow = c.AllreduceInt64(maxRow, mpi.OpMax)
+	return blk
+}

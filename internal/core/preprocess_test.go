@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+
+	"tc2d/internal/dgraph"
+	"tc2d/internal/graph"
+	"tc2d/internal/hashset"
+	"tc2d/internal/mpi"
+	"tc2d/internal/rmat"
+)
+
+func hashsetNewForTest() *hashset.Set { return hashset.New(64) }
+
+// TestCyclicRedistributeInvariants checks step (i): after the cyclic
+// redistribution, ownership is contiguous by new labels, every vertex is
+// covered exactly once, and degrees are preserved under the relabeling.
+func TestCyclicRedistributeInvariants(t *testing.T) {
+	g := mustRMAT(t, rmat.G500, 8, 8, 3)
+	for _, p := range []int{1, 3, 4, 7} {
+		p := p
+		results, err := mpi.Run(p, testCfg(), func(c *mpi.Comm) (any, error) {
+			var full *graph.Graph
+			if c.Rank() == 0 {
+				full = g
+			}
+			in, err := dgraph.ScatterGraph(c, 0, full)
+			if err != nil {
+				return nil, err
+			}
+			var ops int64
+			out := cyclicRedistribute(c, in, &ops)
+			if ops <= 0 {
+				t.Errorf("rank %d: no ops counted", c.Rank())
+			}
+			// Local shape invariants.
+			if out.VEnd < out.VBeg {
+				t.Errorf("rank %d: empty-inverted range", c.Rank())
+			}
+			if int64(len(out.Adj)) != out.Xadj[out.VEnd-out.VBeg] {
+				t.Errorf("rank %d: xadj/adj mismatch", c.Rank())
+			}
+			// Degree multiset must be preserved: sum of degrees and sum
+			// of squared degrees are permutation invariants.
+			var s1, s2 int64
+			for lv := int32(0); lv < out.NumLocal(); lv++ {
+				d := out.Xadj[lv+1] - out.Xadj[lv]
+				s1 += d
+				s2 += d * d
+			}
+			return []int64{s1, s2, int64(out.NumLocal())}, nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		var s1, s2, nloc int64
+		for _, r := range results {
+			v := r.([]int64)
+			s1 += v[0]
+			s2 += v[1]
+			nloc += v[2]
+		}
+		var w1, w2 int64
+		for v := int32(0); v < g.N; v++ {
+			d := int64(g.Degree(v))
+			w1 += d
+			w2 += d * d
+		}
+		if nloc != int64(g.N) {
+			t.Errorf("p=%d: %d vertices owned, want %d", p, nloc, g.N)
+		}
+		if s1 != w1 || s2 != w2 {
+			t.Errorf("p=%d: degree invariants changed: (%d,%d) vs (%d,%d)", p, s1, s2, w1, w2)
+		}
+	}
+}
+
+// TestDegreeRelabelOrder checks step (ii): new labels are a permutation and
+// sorting vertices by new label yields non-decreasing degrees.
+func TestDegreeRelabelOrder(t *testing.T) {
+	g := mustRMAT(t, rmat.Twitterish, 8, 8, 5)
+	p := 4
+	results, err := mpi.Run(p, testCfg(), func(c *mpi.Comm) (any, error) {
+		var full *graph.Graph
+		if c.Rank() == 0 {
+			full = g
+		}
+		in, err := dgraph.ScatterGraph(c, 0, full)
+		if err != nil {
+			return nil, err
+		}
+		var ops int64
+		d1 := cyclicRedistribute(c, in, &ops)
+		rl := degreeRelabel(c, d1, &ops)
+		// Report (newLabel, degree) pairs for all local vertices.
+		out := make([]int64, 0, 2*len(rl.labels))
+		for lv, w := range rl.labels {
+			out = append(out, int64(w), rl.xadj[lv+1]-rl.xadj[lv])
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degOf := make([]int64, g.N)
+	seen := make([]bool, g.N)
+	for _, r := range results {
+		v := r.([]int64)
+		for i := 0; i < len(v); i += 2 {
+			w := v[i]
+			if seen[w] {
+				t.Fatalf("label %d assigned twice", w)
+			}
+			seen[w] = true
+			degOf[w] = v[i+1]
+		}
+	}
+	for w := int32(0); w < g.N; w++ {
+		if !seen[w] {
+			t.Fatalf("label %d unassigned", w)
+		}
+		if w > 0 && degOf[w] < degOf[w-1] {
+			t.Fatalf("degree order violated at label %d: %d < %d", w, degOf[w], degOf[w-1])
+		}
+	}
+}
+
+// TestBuild2DBlockInvariants checks steps (iii)+(iv): the U/L/task blocks
+// jointly contain every directed edge exactly once with consistent local
+// indexing.
+func TestBuild2DBlockInvariants(t *testing.T) {
+	g := mustRMAT(t, rmat.G500, 8, 8, 7)
+	p := 9
+	results, err := mpi.Run(p, testCfg(), func(c *mpi.Comm) (any, error) {
+		var full *graph.Graph
+		if c.Rank() == 0 {
+			full = g
+		}
+		in, err := dgraph.ScatterGraph(c, 0, full)
+		if err != nil {
+			return nil, err
+		}
+		grid, err := mpi.NewGrid(c)
+		if err != nil {
+			return nil, err
+		}
+		var ops int64
+		d1 := cyclicRedistribute(c, in, &ops)
+		rl := degreeRelabel(c, d1, &ops)
+		blk := build2D(c, grid, rl, EnumJIK, &ops)
+
+		// Task pattern must equal the L pattern for JIK.
+		if blk.task.nnz() != int64(len(blk.lblk.adj)) {
+			t.Errorf("rank %d: task nnz %d != L nnz %d", c.Rank(), blk.task.nnz(), len(blk.lblk.adj))
+		}
+		// Doubly-sparse list covers exactly the non-empty rows.
+		count := 0
+		for a := int32(0); a < blk.task.rows; a++ {
+			if len(blk.task.row(a)) > 0 {
+				count++
+			}
+		}
+		if count != len(blk.taskRows) {
+			t.Errorf("rank %d: %d non-empty rows, list has %d", c.Rank(), count, len(blk.taskRows))
+		}
+		// U rows and L columns must be sorted ascending.
+		for a := int32(0); a < blk.ublk.rows; a++ {
+			row := blk.ublk.row(a)
+			for i := 1; i < len(row); i++ {
+				if row[i-1] >= row[i] {
+					t.Errorf("rank %d: U row %d unsorted", c.Rank(), a)
+					break
+				}
+			}
+		}
+		for b := int32(0); b < blk.lblk.cols; b++ {
+			col := blk.lblk.col(b)
+			for i := 1; i < len(col); i++ {
+				if col[i-1] >= col[i] {
+					t.Errorf("rank %d: L col %d unsorted", c.Rank(), b)
+					break
+				}
+			}
+		}
+		return []int64{blk.ublk.nnz(), int64(len(blk.lblk.adj))}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uTot, lTot int64
+	for _, r := range results {
+		v := r.([]int64)
+		uTot += v[0]
+		lTot += v[1]
+	}
+	if uTot != g.NumEdges() || lTot != g.NumEdges() {
+		t.Fatalf("U nnz %d, L nnz %d, want %d each", uTot, lTot, g.NumEdges())
+	}
+}
+
+// TestKernelCraftedBlocks exercises runKernel directly on hand-built blocks:
+// one task, one U row, one L column, with every option combination.
+func TestKernelCraftedBlocks(t *testing.T) {
+	// Task (row 0, col 0); U row 0 = {2, 5, 9}; L col 0 = {1, 5, 9, 11}.
+	// Intersection = {5, 9} → 2 triangles.
+	task := csrBlock{rows: 1, xadj: []int32{0, 1}, adj: []int32{0}}
+	u := csrBlock{rows: 1, xadj: []int32{0, 3}, adj: []int32{2, 5, 9}}
+	l := cscBlock{cols: 1, xadj: []int32{0, 4}, adj: []int32{1, 5, 9, 11}}
+	for _, opt := range []Options{
+		{},
+		{NoDoublySparse: true},
+		{NoDirectHash: true},
+		{NoEarlyBreak: true},
+		{NoDoublySparse: true, NoDirectHash: true, NoEarlyBreak: true},
+	} {
+		set := hashsetNewForTest()
+		var kc kernelCounters
+		runKernel(&task, []int32{0}, &u, &l, set, opt, &kc)
+		if kc.triangles != 2 {
+			t.Errorf("opt %+v: %d triangles, want 2", opt, kc.triangles)
+		}
+		if kc.mapTasks != 1 {
+			t.Errorf("opt %+v: %d map tasks, want 1", opt, kc.mapTasks)
+		}
+		if kc.probes < 2 {
+			t.Errorf("opt %+v: %d probes", opt, kc.probes)
+		}
+	}
+	// Early break must probe fewer entries than the full scan: L column
+	// entry 1 < min(U row)=2 is skipped by the optimized path.
+	var withBreak, without kernelCounters
+	runKernel(&task, []int32{0}, &u, &l, hashsetNewForTest(), Options{}, &withBreak)
+	runKernel(&task, []int32{0}, &u, &l, hashsetNewForTest(), Options{NoEarlyBreak: true}, &without)
+	if withBreak.probes >= without.probes {
+		t.Errorf("early break did not reduce probes: %d vs %d", withBreak.probes, without.probes)
+	}
+}
+
+// TestKernelEmptyOperands: empty U rows or L columns contribute nothing and
+// are not counted as map tasks.
+func TestKernelEmptyOperands(t *testing.T) {
+	task := csrBlock{rows: 2, xadj: []int32{0, 1, 1}, adj: []int32{0}}
+	emptyU := csrBlock{rows: 2, xadj: []int32{0, 0, 0}}
+	l := cscBlock{cols: 1, xadj: []int32{0, 1}, adj: []int32{3}}
+	var kc kernelCounters
+	runKernel(&task, []int32{0}, &emptyU, &l, hashsetNewForTest(), Options{}, &kc)
+	if kc.triangles != 0 || kc.mapTasks != 0 || kc.probes != 0 {
+		t.Errorf("empty U: %+v", kc)
+	}
+	u := csrBlock{rows: 2, xadj: []int32{0, 2, 2}, adj: []int32{3, 4}}
+	emptyL := cscBlock{cols: 1, xadj: []int32{0, 0}}
+	kc = kernelCounters{}
+	runKernel(&task, []int32{0}, &u, &emptyL, hashsetNewForTest(), Options{}, &kc)
+	if kc.triangles != 0 || kc.mapTasks != 0 {
+		t.Errorf("empty L: %+v", kc)
+	}
+}
+
+// TestDecodeBlobRejectsCorrupt: corrupted or mis-typed blobs must panic
+// loudly rather than miscount.
+func TestDecodeBlobRejectsCorrupt(t *testing.T) {
+	blob := encodeCSRBlob(kindU, 2, []int32{0, 1, 1}, []int32{5})
+	mustPanic(t, "wrong kind", func() { decodeCSRBlob(blob, kindL) })
+	mustPanic(t, "truncated", func() { decodeCSRBlob(blob[:8], kindU) })
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF // clobber magic
+	mustPanic(t, "bad magic", func() { decodeCSRBlob(bad, kindU) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

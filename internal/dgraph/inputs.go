@@ -1,0 +1,58 @@
+package dgraph
+
+import (
+	"tc2d/internal/graph"
+	"tc2d/internal/mpi"
+	"tc2d/internal/rmat"
+)
+
+// Input abstracts how each rank obtains its 1D share of the input graph:
+// scattered from a full in-memory graph, or generated in parallel.
+type Input interface {
+	Build(c *mpi.Comm) (*Dist1D, error)
+}
+
+// ScatterInput scatters a full in-memory graph held by rank Root.
+type ScatterInput struct {
+	Root  int
+	Graph *graph.Graph // may be nil on non-root ranks
+}
+
+// Build implements Input.
+func (s ScatterInput) Build(c *mpi.Comm) (*Dist1D, error) {
+	var g *graph.Graph
+	if c.Rank() == s.Root {
+		g = s.Graph
+	}
+	return ScatterGraph(c, s.Root, g)
+}
+
+// RMATInput generates an RMAT graph in parallel on the ranks themselves, the
+// way the paper produces its g500 inputs.
+type RMATInput struct {
+	Params     rmat.Params
+	Scale      int
+	EdgeFactor int
+	Seed       uint64
+}
+
+// Build implements Input.
+func (r RMATInput) Build(c *mpi.Comm) (*Dist1D, error) {
+	ef := r.EdgeFactor
+	if ef <= 0 {
+		ef = 16
+	}
+	return GenerateRMAT1D(c, r.Params, r.Scale, ef, r.Seed)
+}
+
+// ERInput generates an Erdős–Rényi-style graph in parallel.
+type ERInput struct {
+	N    int64
+	M    int64
+	Seed uint64
+}
+
+// Build implements Input.
+func (e ERInput) Build(c *mpi.Comm) (*Dist1D, error) {
+	return GenerateER1D(c, e.N, e.M, e.Seed)
+}

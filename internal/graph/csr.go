@@ -1,0 +1,174 @@
+// Package graph provides the in-memory graph substrate: a CSR (compressed
+// sparse row) representation of simple undirected graphs, builders from edge
+// lists, degree-based reordering, upper/lower triangular extraction, and
+// edge-list I/O.
+//
+// Vertices are int32 ids in [0, N). Graphs are stored with both directions of
+// every undirected edge present (a symmetric adjacency matrix), adjacency
+// lists sorted ascending, no self-loops and no duplicate edges.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph in CSR form. Adjacency lists are sorted
+// ascending and contain each undirected edge twice (u in Adj(v) and v in
+// Adj(u)).
+type Graph struct {
+	N    int32   // number of vertices
+	Xadj []int64 // length N+1; row pointers into Adj
+	Adj  []int32 // concatenated adjacency lists, len = 2 * undirected edges
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int32 { return g.N }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return int64(len(g.Adj)) / 2 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int32) int32 { return int32(g.Xadj[v+1] - g.Xadj[v]) }
+
+// Neighbors returns v's adjacency list (sorted ascending). The returned slice
+// aliases the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 { return g.Adj[g.Xadj[v]:g.Xadj[v+1]] }
+
+// NeighborsAbove returns the suffix of v's adjacency list with ids > v
+// (the non-zeros of row v of the upper triangle U).
+func (g *Graph) NeighborsAbove(v int32) []int32 {
+	row := g.Neighbors(v)
+	i := sort.Search(len(row), func(i int) bool { return row[i] > v })
+	return row[i:]
+}
+
+// NeighborsBelow returns the prefix of v's adjacency list with ids < v
+// (the non-zeros of row v of the lower triangle L).
+func (g *Graph) NeighborsBelow(v int32) []int32 {
+	row := g.Neighbors(v)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	return row[:i]
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int32) bool {
+	row := g.Neighbors(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	return i < len(row) && row[i] == v
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int32 {
+	var dmax int32
+	for v := int32(0); v < g.N; v++ {
+		if d := g.Degree(v); d > dmax {
+			dmax = d
+		}
+	}
+	return dmax
+}
+
+// AvgDegree returns the average vertex degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(len(g.Adj)) / float64(g.N)
+}
+
+// Validate checks the structural invariants of the CSR representation:
+// monotone row pointers, in-range sorted strictly-increasing adjacency lists,
+// no self loops, and symmetry. It is O(m log d) and intended for tests.
+func (g *Graph) Validate() error {
+	if int32(len(g.Xadj)) != g.N+1 {
+		return fmt.Errorf("graph: xadj length %d, want %d", len(g.Xadj), g.N+1)
+	}
+	if g.Xadj[0] != 0 {
+		return fmt.Errorf("graph: xadj[0] = %d, want 0", g.Xadj[0])
+	}
+	if g.Xadj[g.N] != int64(len(g.Adj)) {
+		return fmt.Errorf("graph: xadj[N] = %d, want %d", g.Xadj[g.N], len(g.Adj))
+	}
+	for v := int32(0); v < g.N; v++ {
+		if g.Xadj[v] > g.Xadj[v+1] {
+			return fmt.Errorf("graph: xadj not monotone at %d", v)
+		}
+		row := g.Neighbors(v)
+		for i, u := range row {
+			if u < 0 || u >= g.N {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self loop at %d", v)
+			}
+			if i > 0 && row[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not strictly increasing", v)
+			}
+		}
+	}
+	for v := int32(0); v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// KCore returns the k-core of the graph — the maximal subgraph in which
+// every vertex has degree >= k — as a keep-mask over vertices, along with
+// the number of removed vertices. The 2-core (k=2) is the subgraph that can
+// contain triangles; the Havoq-style baseline prunes to it first.
+func (g *Graph) KCore(k int32) (keep []bool, removed int64) {
+	keep = make([]bool, g.N)
+	deg := make([]int32, g.N)
+	queue := make([]int32, 0, g.N)
+	for v := int32(0); v < g.N; v++ {
+		keep[v] = true
+		deg[v] = g.Degree(v)
+		if deg[v] < k {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !keep[v] {
+			continue
+		}
+		keep[v] = false
+		removed++
+		for _, u := range g.Neighbors(v) {
+			if !keep[u] {
+				continue
+			}
+			deg[u]--
+			if deg[u] < k {
+				queue = append(queue, u)
+			}
+		}
+	}
+	return keep, removed
+}
+
+// Edges returns the undirected edges as (u < v) pairs in row order.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := int32(0); v < g.N; v++ {
+		for _, u := range g.NeighborsAbove(v) {
+			edges = append(edges, Edge{U: v, V: u})
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		N:    g.N,
+		Xadj: append([]int64(nil), g.Xadj...),
+		Adj:  append([]int32(nil), g.Adj...),
+	}
+}

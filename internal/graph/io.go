@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a text edge list: a header comment with
+// counts, then one "u v" line per undirected edge (u < v).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# vertices %d edges %d\n", g.N, g.NumEdges()); err != nil {
+		return err
+	}
+	for v := int32(0); v < g.N; v++ {
+		for _, u := range g.NeighborsAbove(v) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a text edge list: whitespace-separated vertex pairs,
+// one per line; lines starting with '#' or '%' are comments. Vertex ids are
+// arbitrary non-negative integers; the vertex count is max id + 1 unless a
+// larger n is given (pass n <= 0 to infer).
+func ReadEdgeList(r io.Reader, n int32) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := int32(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", line, text)
+		}
+		u64, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v64, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		u, v := int32(u64), int32(v64)
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", line)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = maxID + 1
+	} else if maxID >= n {
+		return nil, fmt.Errorf("graph: edge references vertex %d >= n=%d", maxID, n)
+	}
+	return FromEdges(n, edges)
+}
+
+const binMagic = uint32(0x54433244) // "TC2D"
+
+// WriteBinary writes the graph in a compact binary format: magic, version,
+// n (int32), nnz (int64), xadj, adj — all little-endian.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := make([]byte, 4+4+4+8)
+	binary.LittleEndian.PutUint32(hdr[0:], binMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 1)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(g.N))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(g.Adj)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, x := range g.Xadj {
+		binary.LittleEndian.PutUint64(buf, uint64(x))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, a := range g.Adj {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(a))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]byte, 4+4+4+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != binMagic {
+		return nil, fmt.Errorf("graph: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != 1 {
+		return nil, fmt.Errorf("graph: unsupported version %d", v)
+	}
+	n := int32(binary.LittleEndian.Uint32(hdr[8:]))
+	nnz := int64(binary.LittleEndian.Uint64(hdr[12:]))
+	if n < 0 || nnz < 0 {
+		return nil, fmt.Errorf("graph: corrupt header (n=%d nnz=%d)", n, nnz)
+	}
+	g := &Graph{N: n, Xadj: make([]int64, n+1), Adj: make([]int32, nnz)}
+	buf := make([]byte, 8)
+	for i := range g.Xadj {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		g.Xadj[i] = int64(binary.LittleEndian.Uint64(buf))
+	}
+	for i := range g.Adj {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, err
+		}
+		g.Adj[i] = int32(binary.LittleEndian.Uint32(buf[:4]))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: binary file failed validation: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKCoreTriangleWithTail(t *testing.T) {
+	// Triangle 0-1-2 with a tail 2-3-4: the 2-core is exactly the triangle.
+	g, _ := FromEdges(5, []Edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}})
+	keep, removed := g.KCore(2)
+	if removed != 2 {
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	for v := int32(0); v < 3; v++ {
+		if !keep[v] {
+			t.Errorf("triangle vertex %d removed", v)
+		}
+	}
+	for v := int32(3); v < 5; v++ {
+		if keep[v] {
+			t.Errorf("tail vertex %d kept", v)
+		}
+	}
+}
+
+func TestKCoreForestIsEmpty(t *testing.T) {
+	g, _ := FromEdges(6, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	_, removed := g.KCore(2)
+	if removed != 6 {
+		t.Fatalf("removed %d, want all 6", removed)
+	}
+}
+
+func TestKCoreCompleteGraphKeepsAll(t *testing.T) {
+	var edges []Edge
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	g, _ := FromEdges(6, edges)
+	keep, removed := g.KCore(5)
+	if removed != 0 {
+		t.Fatalf("removed %d from K6 at k=5", removed)
+	}
+	for _, k := range keep {
+		if !k {
+			t.Fatal("vertex dropped from K6")
+		}
+	}
+	// k=6 kills everything (degree 5 < 6).
+	if _, removed := g.KCore(6); removed != 6 {
+		t.Fatalf("k=6: removed %d", removed)
+	}
+}
+
+func TestKCorePropertyMinDegree(t *testing.T) {
+	// Property: within the k-core, every kept vertex has >= k kept
+	// neighbors; and the removed set is maximal (re-running removes
+	// nothing).
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 60, 250)
+		k := int32(kRaw%5) + 1
+		keep, _ := g.KCore(k)
+		for v := int32(0); v < g.N; v++ {
+			if !keep[v] {
+				continue
+			}
+			cnt := int32(0)
+			for _, u := range g.Neighbors(v) {
+				if keep[u] {
+					cnt++
+				}
+			}
+			if cnt < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

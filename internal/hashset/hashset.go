@@ -1,0 +1,151 @@
+// Package hashset implements the intersection hash map from the paper's
+// triangle counting kernel: an open-addressing set of int32 keys with
+// power-of-two capacity, per-row stamps so the map never needs clearing, and
+// a "direct" mode that hashes with a single bitwise AND and no probing when
+// the caller can prove collisions are impossible (the paper's "modifying the
+// hashing routine for sparser vertices" optimization, §5.2).
+package hashset
+
+import "math/bits"
+
+const empty = int32(-1)
+
+// Set is a reusable set of non-negative int32 keys.
+type Set struct {
+	keys  []int32
+	stamp []uint32
+	cur   uint32
+	mask  int32
+	// direct is true when the current generation was loaded with
+	// collision-free direct indexing (key & mask is injective because every
+	// key fits under the capacity).
+	direct bool
+	minKey int32
+	n      int
+	probes int64 // cumulative linear-probe steps, for instrumentation
+}
+
+// New creates a set with capacity at least `capacity`, rounded up to a power
+// of two (minimum 64).
+func New(capacity int) *Set {
+	c := 64
+	for c < capacity {
+		c <<= 1
+	}
+	s := &Set{
+		keys:  make([]int32, c),
+		stamp: make([]uint32, c),
+		mask:  int32(c - 1),
+		cur:   0,
+	}
+	return s
+}
+
+// Cap returns the power-of-two capacity.
+func (s *Set) Cap() int { return len(s.keys) }
+
+// Mask returns capacity-1: the largest key eligible for direct-mode
+// insertion.
+func (s *Set) Mask() int32 { return s.mask }
+
+// Len returns the number of keys inserted in the current generation.
+func (s *Set) Len() int { return s.n }
+
+// MinKey returns the smallest key inserted in the current generation, or
+// MaxInt32 when empty. The triangle counting kernel uses it for the
+// early-break optimization.
+func (s *Set) MinKey() int32 {
+	return s.minKey
+}
+
+// ProbeSteps returns the cumulative number of linear probe steps performed,
+// across all generations — the paper's collision metric.
+func (s *Set) ProbeSteps() int64 { return s.probes }
+
+// Grow ensures capacity for at least `capacity` keys, discarding contents.
+func (s *Set) Grow(capacity int) {
+	if capacity <= len(s.keys) {
+		return
+	}
+	c := len(s.keys)
+	for c < capacity {
+		c <<= 1
+	}
+	s.keys = make([]int32, c)
+	s.stamp = make([]uint32, c)
+	s.mask = int32(c - 1)
+	s.cur = 0
+	s.n = 0
+}
+
+// Reset begins a new generation. direct selects the collision-free fast
+// path: the caller promises every key inserted this generation satisfies
+// key <= mask, so key & mask == key and no probing is needed. The promise is
+// checked in Insert.
+func (s *Set) Reset(direct bool) {
+	s.cur++
+	if s.cur == 0 {
+		// Stamp wrapped; clear lazily by resetting all stamps.
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.cur = 1
+	}
+	s.direct = direct
+	s.minKey = int32(1<<31 - 1)
+	s.n = 0
+}
+
+// hash spreads keys with a Fibonacci multiplier before masking.
+func (s *Set) hash(k int32) int32 {
+	h := uint32(k) * 2654435761
+	shift := 32 - uint(bits.TrailingZeros(uint(len(s.keys))))
+	return int32(h>>shift) & s.mask
+}
+
+// Insert adds k (>= 0) to the current generation.
+func (s *Set) Insert(k int32) {
+	if k < s.minKey {
+		s.minKey = k
+	}
+	s.n++
+	if s.direct {
+		// Collision-free direct indexing: a single bitwise AND.
+		if k > s.mask {
+			panic("hashset: direct-mode key exceeds capacity")
+		}
+		s.keys[k] = k
+		s.stamp[k] = s.cur
+		return
+	}
+	i := s.hash(k)
+	for s.stamp[i] == s.cur {
+		if s.keys[i] == k {
+			s.n-- // duplicate
+			return
+		}
+		s.probes++
+		i = (i + 1) & s.mask
+	}
+	s.keys[i] = k
+	s.stamp[i] = s.cur
+}
+
+// Contains reports whether k is in the current generation.
+func (s *Set) Contains(k int32) bool {
+	if s.direct {
+		if k > s.mask {
+			return false
+		}
+		return s.stamp[k] == s.cur
+	}
+	i := s.hash(k)
+	for s.stamp[i] == s.cur {
+		if s.keys[i] == k {
+			return true
+		}
+		s.probes++
+		i = (i + 1) & s.mask
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package hashset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicInsertContains(t *testing.T) {
+	s := New(16)
+	s.Reset(false)
+	for _, k := range []int32{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Insert(k)
+	}
+	if s.Len() != 7 { // the duplicate 1 collapses
+		t.Errorf("len=%d", s.Len())
+	}
+	for _, k := range []int32{1, 2, 3, 4, 5, 6, 9} {
+		if !s.Contains(k) {
+			t.Errorf("missing %d", k)
+		}
+	}
+	for _, k := range []int32{0, 7, 8, 100} {
+		if s.Contains(k) {
+			t.Errorf("phantom %d", k)
+		}
+	}
+	if s.MinKey() != 1 {
+		t.Errorf("min=%d", s.MinKey())
+	}
+}
+
+func TestResetClearsLogically(t *testing.T) {
+	s := New(64)
+	s.Reset(false)
+	s.Insert(10)
+	s.Reset(false)
+	if s.Contains(10) {
+		t.Fatal("stale key visible after reset")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len=%d after reset", s.Len())
+	}
+}
+
+func TestDirectMode(t *testing.T) {
+	s := New(64)
+	s.Reset(true)
+	for k := int32(0); k < 60; k += 3 {
+		s.Insert(k)
+	}
+	for k := int32(0); k < 64; k++ {
+		want := k < 60 && k%3 == 0
+		if s.Contains(k) != want {
+			t.Errorf("direct Contains(%d)=%v", k, !want)
+		}
+	}
+	// Keys beyond capacity are simply absent (lookup side).
+	if s.Contains(1000) {
+		t.Error("key beyond capacity reported present")
+	}
+}
+
+func TestDirectModeInsertBeyondCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := New(64)
+	s.Reset(true)
+	s.Insert(64) // mask is 63
+}
+
+func TestGrow(t *testing.T) {
+	s := New(64)
+	s.Grow(1000)
+	if s.Cap() < 1000 || s.Cap()&(s.Cap()-1) != 0 {
+		t.Fatalf("cap=%d", s.Cap())
+	}
+	s.Reset(false)
+	s.Insert(999)
+	if !s.Contains(999) {
+		t.Fatal("lost key after grow")
+	}
+	// Growing smaller is a no-op.
+	c := s.Cap()
+	s.Grow(10)
+	if s.Cap() != c {
+		t.Fatal("shrank")
+	}
+}
+
+func TestStampWraparound(t *testing.T) {
+	s := New(64)
+	// Force many generations; correctness must survive the uint32 stamp
+	// space being consumed (simulate by spinning a few thousand resets).
+	for g := 0; g < 5000; g++ {
+		s.Reset(g%2 == 0)
+		k := int32(g % 60)
+		s.Insert(k)
+		if !s.Contains(k) {
+			t.Fatalf("gen %d lost key", g)
+		}
+		if s.Contains(int32((g+7)%60)) && int32((g+7)%60) != k {
+			t.Fatalf("gen %d phantom key", g)
+		}
+	}
+}
+
+func TestHighLoadProbing(t *testing.T) {
+	// Fill to 75% load and verify everything is found.
+	s := New(128)
+	s.Reset(false)
+	keys := make(map[int32]bool)
+	r := rand.New(rand.NewSource(1))
+	for len(keys) < 96 {
+		k := int32(r.Intn(1 << 20))
+		keys[k] = true
+		s.Insert(k)
+	}
+	for k := range keys {
+		if !s.Contains(k) {
+			t.Errorf("missing %d at high load", k)
+		}
+	}
+	if s.ProbeSteps() == 0 {
+		t.Error("expected some probe steps at 75% load")
+	}
+}
+
+func TestPropertyMatchesMap(t *testing.T) {
+	// The set must behave exactly like map[int32]bool within a generation,
+	// in both probing and direct mode.
+	f := func(seed int64, direct bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New(256)
+		ref := make(map[int32]bool)
+		s.Reset(direct)
+		limit := int32(1 << 20)
+		if direct {
+			limit = int32(s.Cap())
+		}
+		for i := 0; i < 100; i++ {
+			k := int32(r.Intn(int(limit)))
+			s.Insert(k)
+			ref[k] = true
+		}
+		for i := 0; i < 200; i++ {
+			k := int32(r.Intn(int(limit)))
+			if s.Contains(k) != ref[k] {
+				return false
+			}
+		}
+		// MinKey must match the reference minimum.
+		min := int32(1<<31 - 1)
+		for k := range ref {
+			if k < min {
+				min = k
+			}
+		}
+		return s.MinKey() == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinCapacity(t *testing.T) {
+	s := New(0)
+	if s.Cap() != 64 {
+		t.Fatalf("cap=%d want 64", s.Cap())
+	}
+	s = New(65)
+	if s.Cap() != 128 {
+		t.Fatalf("cap=%d want 128", s.Cap())
+	}
+}

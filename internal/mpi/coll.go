@@ -1,0 +1,350 @@
+package mpi
+
+import "fmt"
+
+// Reserved tag block for collective operations. User code should use tags
+// below collTagBase.
+const (
+	collTagBase = 1 << 28
+	tagBcast    = collTagBase + iota
+	tagReduce
+	tagGatherv
+	tagAlltoallv
+	tagScan
+	tagAllgatherv
+)
+
+// Op identifies a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+func reduceInt64(op Op, dst, src []int64) {
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+func reduceFloat64(op Op, dst, src []float64) {
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// relRank re-bases rank r so that root maps to 0 for tree collectives.
+func relRank(r, root, p int) int { return (r - root + p) % p }
+
+func absRank(rel, root, p int) int { return (rel + root) % p }
+
+// Bcast broadcasts data from root along a binomial tree and returns each
+// rank's copy. Non-root ranks pass nil.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	p := c.world.size
+	if p == 1 {
+		return data
+	}
+	rel := relRank(c.rank, root, p)
+	if rel != 0 {
+		data = c.Recv(absRank(parentOf(rel), root, p), tagBcast)
+	}
+	for _, child := range childrenOf(rel, p) {
+		c.Send(absRank(child, root, p), tagBcast, data)
+	}
+	return data
+}
+
+// parentOf returns the binomial-tree parent of relative rank r (> 0): clear
+// the lowest set bit.
+func parentOf(r int) int { return r & (r - 1) }
+
+// childrenOf returns the binomial-tree children of relative rank r in a tree
+// of size p: r + 2^k for each 2^k > lowbit-range of r.
+func childrenOf(r, p int) []int {
+	var kids []int
+	for bit := 1; ; bit <<= 1 {
+		if r&bit != 0 {
+			break
+		}
+		child := r | bit
+		if child >= p {
+			break
+		}
+		if child == r {
+			break
+		}
+		kids = append(kids, child)
+	}
+	return kids
+}
+
+// ReduceInt64s reduces elementwise onto root along a binomial tree. Every
+// rank contributes v (unchanged); root receives the reduction, other ranks
+// receive nil.
+func (c *Comm) ReduceInt64s(root int, v []int64, op Op) []int64 {
+	p := c.world.size
+	acc := append([]int64(nil), v...)
+	if p == 1 {
+		return acc
+	}
+	rel := relRank(c.rank, root, p)
+	kids := childrenOf(rel, p)
+	// Receive children in reverse order (deepest subtree last finished is
+	// irrelevant for correctness; order only matters for determinism).
+	for i := len(kids) - 1; i >= 0; i-- {
+		other := c.RecvInt64s(absRank(kids[i], root, p), tagReduce)
+		if len(other) != len(acc) {
+			panic("mpi: reduce length mismatch")
+		}
+		reduceInt64(op, acc, other)
+	}
+	if rel != 0 {
+		c.SendInt64s(absRank(parentOf(rel), root, p), tagReduce, acc)
+		return nil
+	}
+	return acc
+}
+
+// AllreduceInt64s reduces elementwise across all ranks and returns the result
+// on every rank (reduce-to-0 then broadcast).
+func (c *Comm) AllreduceInt64s(v []int64, op Op) []int64 {
+	acc := c.ReduceInt64s(0, v, op)
+	var payload []byte
+	if c.rank == 0 {
+		payload = Int64sToBytes(acc)
+	}
+	return BytesToInt64s(c.Bcast(0, payload))
+}
+
+// AllreduceInt64 is the scalar convenience form of AllreduceInt64s.
+func (c *Comm) AllreduceInt64(v int64, op Op) int64 {
+	return c.AllreduceInt64s([]int64{v}, op)[0]
+}
+
+// ReduceFloat64s reduces elementwise onto root along a binomial tree.
+func (c *Comm) ReduceFloat64s(root int, v []float64, op Op) []float64 {
+	p := c.world.size
+	acc := append([]float64(nil), v...)
+	if p == 1 {
+		return acc
+	}
+	rel := relRank(c.rank, root, p)
+	kids := childrenOf(rel, p)
+	for i := len(kids) - 1; i >= 0; i-- {
+		other := c.RecvFloat64s(absRank(kids[i], root, p), tagReduce)
+		if len(other) != len(acc) {
+			panic("mpi: reduce length mismatch")
+		}
+		reduceFloat64(op, acc, other)
+	}
+	if rel != 0 {
+		c.SendFloat64s(absRank(parentOf(rel), root, p), tagReduce, acc)
+		return nil
+	}
+	return acc
+}
+
+// AllreduceFloat64s reduces elementwise across all ranks, result everywhere.
+func (c *Comm) AllreduceFloat64s(v []float64, op Op) []float64 {
+	acc := c.ReduceFloat64s(0, v, op)
+	var payload []byte
+	if c.rank == 0 {
+		payload = Float64sToBytes(acc)
+	}
+	return BytesToFloat64s(c.Bcast(0, payload))
+}
+
+// AllreduceFloat64 is the scalar convenience form of AllreduceFloat64s.
+func (c *Comm) AllreduceFloat64(v float64, op Op) float64 {
+	return c.AllreduceFloat64s([]float64{v}, op)[0]
+}
+
+// Gatherv gathers one byte payload per rank onto root, indexed by source
+// rank. Non-root ranks receive nil.
+func (c *Comm) Gatherv(root int, data []byte) [][]byte {
+	p := c.world.size
+	if c.rank != root {
+		c.Send(root, tagGatherv, data)
+		return nil
+	}
+	out := make([][]byte, p)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	out[root] = buf
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.Recv(r, tagGatherv)
+	}
+	return out
+}
+
+// AllgatherInt64s gathers each rank's slice and returns the concatenation (in
+// rank order) on every rank.
+func (c *Comm) AllgatherInt64s(v []int64) []int64 {
+	parts := c.Gatherv(0, Int64sToBytes(v))
+	var flat []byte
+	if c.rank == 0 {
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		flat = make([]byte, 0, total)
+		for _, p := range parts {
+			flat = append(flat, p...)
+		}
+	}
+	return BytesToInt64s(c.Bcast(0, flat))
+}
+
+// AllgatherFloat64s gathers each rank's slice, concatenated in rank order.
+func (c *Comm) AllgatherFloat64s(v []float64) []float64 {
+	parts := c.Gatherv(0, Float64sToBytes(v))
+	var flat []byte
+	if c.rank == 0 {
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		flat = make([]byte, 0, total)
+		for _, p := range parts {
+			flat = append(flat, p...)
+		}
+	}
+	return BytesToFloat64s(c.Bcast(0, flat))
+}
+
+// Alltoallv performs a personalized all-to-all exchange: send[d] goes to rank
+// d; the result's entry [s] is the payload received from rank s. This is the
+// p point-to-point send/receive formulation the paper uses (cost ≥ p + m/p).
+// Ownership of the send payloads transfers to the runtime.
+func (c *Comm) Alltoallv(send [][]byte) [][]byte {
+	p := c.world.size
+	if len(send) != p {
+		panic(fmt.Sprintf("mpi: Alltoallv needs %d send buffers, got %d", p, len(send)))
+	}
+	recv := make([][]byte, p)
+	// Keep the local part local (no copy, no charge).
+	recv[c.rank] = send[c.rank]
+	// Stagger destinations so rank pairs do not all collide on the same hot
+	// receiver: round r pairs me with rank+r (send) and rank-r (receive).
+	for r := 1; r < p; r++ {
+		dst := (c.rank + r) % p
+		c.SendOwn(dst, tagAlltoallv, send[dst])
+	}
+	for r := 1; r < p; r++ {
+		src := (c.rank - r + p) % p
+		recv[src] = c.Recv(src, tagAlltoallv)
+	}
+	return recv
+}
+
+// AlltoallvInt32 is Alltoallv over int32 payloads.
+func (c *Comm) AlltoallvInt32(send [][]int32) [][]int32 {
+	p := c.world.size
+	bufs := make([][]byte, p)
+	for d := range send {
+		bufs[d] = Int32sToBytes(send[d])
+	}
+	got := c.Alltoallv(bufs)
+	out := make([][]int32, p)
+	for s := range got {
+		out[s] = BytesToInt32s(got[s])
+	}
+	return out
+}
+
+// ExscanInt64 returns the exclusive prefix sum of v over ranks: rank r gets
+// sum of v over ranks 0..r-1 (0 on rank 0). Implemented with a Hillis–Steele
+// distance-doubling sweep, so its depth is ceil(log2 p) rounds.
+func (c *Comm) ExscanInt64(v int64) int64 {
+	p := c.world.size
+	incl := v
+	for d := 1; d < p; d <<= 1 {
+		var got []int64
+		// Post the send first, then receive: both directions are disjoint
+		// rank pairs so the buffered mailboxes absorb the exchange.
+		if c.rank+d < p {
+			c.SendInt64s(c.rank+d, tagScan, []int64{incl})
+		}
+		if c.rank-d >= 0 {
+			got = c.RecvInt64s(c.rank-d, tagScan)
+		}
+		if got != nil {
+			incl += got[0]
+		}
+	}
+	return incl - v
+}
+
+// ExscanInt64s is the vector form of ExscanInt64 (elementwise exclusive
+// prefix sums over ranks).
+func (c *Comm) ExscanInt64s(v []int64) []int64 {
+	p := c.world.size
+	incl := append([]int64(nil), v...)
+	for d := 1; d < p; d <<= 1 {
+		var got []int64
+		if c.rank+d < p {
+			c.SendInt64s(c.rank+d, tagScan, incl)
+		}
+		if c.rank-d >= 0 {
+			got = c.RecvInt64s(c.rank-d, tagScan)
+		}
+		if got != nil {
+			for i := range incl {
+				incl[i] += got[i]
+			}
+		}
+	}
+	for i := range incl {
+		incl[i] -= v[i]
+	}
+	return incl
+}

@@ -1,0 +1,89 @@
+package mpi
+
+import "fmt"
+
+// Grid views a communicator of q*q ranks as a q×q Cartesian process grid,
+// with rank = row*q + col. It provides the cyclic row/column shifts used by
+// Cannon's algorithm.
+type Grid struct {
+	c   *Comm
+	q   int
+	row int
+	col int
+}
+
+// Tags for grid shifts; kept inside the collective tag block.
+const (
+	tagRowShift = collTagBase + 100 + iota
+	tagColShift
+)
+
+// SquareSide returns q if p == q*q, else -1.
+func SquareSide(p int) int {
+	q := 0
+	for q*q < p {
+		q++
+	}
+	if q*q != p {
+		return -1
+	}
+	return q
+}
+
+// NewGrid wraps c in a square grid view. The world size must be a perfect
+// square.
+func NewGrid(c *Comm) (*Grid, error) {
+	q := SquareSide(c.Size())
+	if q < 0 {
+		return nil, fmt.Errorf("mpi: world size %d is not a perfect square", c.Size())
+	}
+	return &Grid{c: c, q: q, row: c.Rank() / q, col: c.Rank() % q}, nil
+}
+
+// Comm returns the underlying communicator.
+func (g *Grid) Comm() *Comm { return g.c }
+
+// Q returns the grid side length √p.
+func (g *Grid) Q() int { return g.q }
+
+// Row returns this rank's grid row.
+func (g *Grid) Row() int { return g.row }
+
+// Col returns this rank's grid column.
+func (g *Grid) Col() int { return g.col }
+
+// RankAt returns the world rank at grid position (row, col), wrapping both
+// coordinates cyclically.
+func (g *Grid) RankAt(row, col int) int {
+	q := g.q
+	return ((row%q+q)%q)*q + ((col%q + q) % q)
+}
+
+// ShiftRowLeft sends data dist positions left within this grid row (cyclic)
+// and returns the block arriving from dist positions right. dist may be any
+// non-negative value; dist % q == 0 is a no-op returning data unchanged.
+// Ownership of data transfers to the runtime.
+func (g *Grid) ShiftRowLeft(data []byte, dist int) []byte {
+	d := dist % g.q
+	if d == 0 {
+		return data
+	}
+	dst := g.RankAt(g.row, g.col-d)
+	src := g.RankAt(g.row, g.col+d)
+	g.c.SendOwn(dst, tagRowShift, data)
+	return g.c.Recv(src, tagRowShift)
+}
+
+// ShiftColUp sends data dist positions up within this grid column (cyclic)
+// and returns the block arriving from dist positions below. Ownership of
+// data transfers to the runtime.
+func (g *Grid) ShiftColUp(data []byte, dist int) []byte {
+	d := dist % g.q
+	if d == 0 {
+		return data
+	}
+	dst := g.RankAt(g.row-d, g.col)
+	src := g.RankAt(g.row+d, g.col)
+	g.c.SendOwn(dst, tagColShift, data)
+	return g.c.Recv(src, tagColShift)
+}

@@ -1,0 +1,350 @@
+// Package mpi implements a small SPMD message-passing runtime in pure Go.
+//
+// It provides the subset of MPI that distributed graph algorithms need:
+// ranks with private memory, tagged point-to-point messages, the classic
+// collectives (barrier, broadcast, reduce, allreduce, gather, allgather,
+// all-to-all), prefix scans, and a 2D Cartesian grid helper for Cannon-style
+// shift patterns.
+//
+// Ranks are goroutines. Nothing is shared between ranks except the message
+// transport; every Send copies its payload (or takes ownership with the
+// *Own variants), so the programming model is identical to message passing
+// between processes.
+//
+// # Virtual time
+//
+// Besides real wall-clock time, the runtime maintains a per-rank virtual
+// clock driven by a LogGP-style cost model (see CostModel). Local work is
+// charged with Comm.Compute (which measures the enclosed function solo on a
+// dedicated compute slot) or Comm.Elapse; communication charges
+// latency+bandwidth terms and enforces causality at matching receives, making
+// the runtime a conservative distributed simulation. The maximum virtual
+// clock over all ranks at the end of a run is the modeled parallel runtime —
+// the quantity a BSP/LogP analysis predicts — and is what the experiment
+// harness reports when reproducing the paper's scaling tables on a host with
+// fewer cores than ranks.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CostModel parameterizes the communication cost model. Sending b bytes makes
+// the sender busy for Overhead + b/Beta seconds and the message arrives at the
+// receiver Alpha + b/Beta seconds after the send started (plus the sender
+// overhead). A barrier costs Alpha * ceil(log2 p) beyond the latest entrant.
+type CostModel struct {
+	Alpha    float64 // one-way message latency, seconds
+	Beta     float64 // bandwidth, bytes per second
+	Overhead float64 // per-message CPU overhead on sender and receiver, seconds
+}
+
+// DefaultCostModel returns InfiniBand-class parameters comparable to the
+// cluster used in the paper (FDR-generation fabric): 2 microseconds latency,
+// 6 GB/s bandwidth, 0.5 microsecond send/receive overhead.
+func DefaultCostModel() CostModel {
+	return CostModel{Alpha: 2e-6, Beta: 6e9, Overhead: 5e-7}
+}
+
+// ZeroCostModel charges nothing for communication. Useful in unit tests that
+// only care about data movement semantics.
+func ZeroCostModel() CostModel { return CostModel{Alpha: 0, Beta: math.Inf(1), Overhead: 0} }
+
+// Config configures a World.
+type Config struct {
+	// Model is the communication cost model. The zero value means
+	// DefaultCostModel.
+	Model CostModel
+	// ComputeSlots bounds how many Comm.Compute sections run concurrently.
+	// 1 (the default) measures every compute section solo, which gives
+	// contention-free virtual-time measurements at the price of serializing
+	// real execution. Set to runtime.NumCPU() for fast functional runs where
+	// virtual time does not matter.
+	ComputeSlots int
+	// PairCap is the buffered capacity of each sender→receiver mailbox.
+	// The default (16) comfortably covers the bounded skew of the
+	// collectives and Cannon shift patterns used here.
+	PairCap int
+}
+
+type message struct {
+	tag    int
+	data   []byte
+	depart float64 // virtual time at which the message is fully on the wire
+}
+
+// World owns the mailboxes and synchronization state for one SPMD run.
+type World struct {
+	size    int
+	model   CostModel
+	slots   chan struct{}
+	mail    [][]chan message // mail[dst][src]
+	barrier barrierState
+	wire    *tcpWire // non-nil when messages travel over loopback TCP
+}
+
+// NewWorld creates a world with p ranks.
+func NewWorld(p int, cfg Config) *World {
+	if p <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", p))
+	}
+	if cfg.Model == (CostModel{}) {
+		cfg.Model = DefaultCostModel()
+	}
+	if cfg.ComputeSlots <= 0 {
+		cfg.ComputeSlots = 1
+	}
+	if cfg.PairCap <= 0 {
+		cfg.PairCap = 16
+	}
+	w := &World{size: p, model: cfg.Model}
+	w.slots = make(chan struct{}, cfg.ComputeSlots)
+	for i := 0; i < cfg.ComputeSlots; i++ {
+		w.slots <- struct{}{}
+	}
+	w.mail = make([][]chan message, p)
+	for d := range w.mail {
+		w.mail[d] = make([]chan message, p)
+		for s := range w.mail[d] {
+			w.mail[d][s] = make(chan message, cfg.PairCap)
+		}
+	}
+	w.barrier.init(p)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// RankFunc is the body executed by every rank of an SPMD run.
+type RankFunc func(c *Comm) (any, error)
+
+// RankPanicError wraps a panic that escaped a rank function.
+type RankPanicError struct {
+	Rank  int
+	Value any
+	Stack string
+}
+
+func (e *RankPanicError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v\n%s", e.Rank, e.Value, e.Stack)
+}
+
+// Run executes fn on every rank concurrently and returns the per-rank results
+// once all ranks finish. If any rank returns an error or panics, Run returns
+// the first such error (by rank order) alongside the partial results.
+func (w *World) Run(fn RankFunc) ([]any, error) {
+	results := make([]any, w.size)
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		c := &Comm{world: w, rank: r}
+		go func(c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					buf := make([]byte, 16<<10)
+					n := runtime.Stack(buf, false)
+					errs[c.rank] = &RankPanicError{Rank: c.rank, Value: v, Stack: string(buf[:n])}
+				}
+			}()
+			res, err := fn(c)
+			results[c.rank] = res
+			errs[c.rank] = err
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Run is a convenience that creates a world and runs fn on p ranks.
+func Run(p int, cfg Config, fn RankFunc) ([]any, error) {
+	return NewWorld(p, cfg).Run(fn)
+}
+
+// Stats aggregates per-rank accounting. All virtual times are in seconds.
+type Stats struct {
+	BytesSent int64
+	MsgsSent  int64
+	CommTime  float64 // virtual time attributed to communication and waiting
+	CompTime  float64 // virtual time attributed to Compute/Elapse sections
+	WallComp  float64 // real seconds spent inside Compute sections
+}
+
+// Comm is one rank's endpoint into a World.
+type Comm struct {
+	world *World
+	rank  int
+
+	vt    float64 // virtual clock, seconds
+	stats Stats
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Time returns this rank's current virtual clock in seconds.
+func (c *Comm) Time() float64 { return c.vt }
+
+// Stats returns a snapshot of this rank's accounting counters.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// Model returns the world's communication cost model.
+func (c *Comm) Model() CostModel { return c.world.model }
+
+// Compute runs fn on a compute slot, measures it, and charges the measured
+// wall duration to this rank's virtual clock. fn must not perform any
+// communication (it would deadlock the slot when ComputeSlots is 1).
+func (c *Comm) Compute(fn func()) {
+	<-c.world.slots
+	t0 := time.Now()
+	fn()
+	d := time.Since(t0).Seconds()
+	c.world.slots <- struct{}{}
+	c.vt += d
+	c.stats.CompTime += d
+	c.stats.WallComp += d
+}
+
+// Elapse charges d seconds of local work to the virtual clock without
+// executing anything. Useful when the caller measured work itself.
+func (c *Comm) Elapse(d float64) {
+	if d < 0 {
+		panic("mpi: negative Elapse")
+	}
+	c.vt += d
+	c.stats.CompTime += d
+}
+
+// advanceComm moves the virtual clock to at least t and books the advance as
+// communication time.
+func (c *Comm) advanceComm(t float64) {
+	if t > c.vt {
+		c.stats.CommTime += t - c.vt
+		c.vt = t
+	}
+}
+
+// chargeComm adds d seconds of communication work to the clock.
+func (c *Comm) chargeComm(d float64) {
+	c.vt += d
+	c.stats.CommTime += d
+}
+
+// Send sends a tagged message to dst. The payload is copied, so the caller
+// may reuse data immediately.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.SendOwn(dst, tag, buf)
+}
+
+// SendOwn sends data without copying; ownership of the slice transfers to the
+// receiver and the caller must not touch it afterwards.
+func (c *Comm) SendOwn(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d send to invalid rank %d", c.rank, dst))
+	}
+	m := c.world.model
+	start := c.vt
+	c.chargeComm(m.Overhead + float64(len(data))/m.Beta)
+	c.stats.BytesSent += int64(len(data))
+	c.stats.MsgsSent++
+	depart := start + m.Overhead + m.Alpha + float64(len(data))/m.Beta
+	msg := message{tag: tag, data: data, depart: depart}
+	if w := c.world.wire; w != nil && dst != c.rank {
+		w.send(c.rank, dst, msg)
+		return
+	}
+	c.world.mail[dst][c.rank] <- msg
+}
+
+// Recv receives the next message from src, which must carry the given tag.
+// Messages between a pair of ranks are delivered in send order; a tag
+// mismatch means the SPMD program lost synchronization and panics.
+func (c *Comm) Recv(src, tag int) []byte {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d recv from invalid rank %d", c.rank, src))
+	}
+	msg := <-c.world.mail[c.rank][src]
+	if msg.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from rank %d, got %d", c.rank, tag, src, msg.tag))
+	}
+	c.advanceComm(msg.depart)
+	c.chargeComm(c.world.model.Overhead)
+	return msg.data
+}
+
+// SendRecv sends to dst and receives from src concurrently (both with the
+// same tag), as in MPI_Sendrecv. Needed whenever a cycle of ranks exchanges
+// data and the per-pair mailbox could otherwise fill.
+func (c *Comm) SendRecv(dst, tag int, data []byte, src int) []byte {
+	c.Send(dst, tag, data)
+	return c.Recv(src, tag)
+}
+
+// Barrier blocks until every rank has entered it. All virtual clocks advance
+// to the maximum entrant clock plus a log-depth latency term.
+func (c *Comm) Barrier() {
+	p := c.world.size
+	depth := 0
+	if p > 1 {
+		depth = bits.Len(uint(p - 1))
+	}
+	t := c.world.barrier.wait(c.vt)
+	c.advanceComm(t + float64(depth)*c.world.model.Alpha)
+}
+
+// barrierState is a reusable counting barrier that also computes the maximum
+// virtual time across entrants.
+type barrierState struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+	maxVT float64
+	outVT float64
+}
+
+func (b *barrierState) init(size int) {
+	b.size = size
+	b.cond = sync.NewCond(&b.mu)
+}
+
+// wait blocks until all ranks arrive and returns the maximum entrant vt.
+func (b *barrierState) wait(vt float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if vt > b.maxVT {
+		b.maxVT = vt
+	}
+	b.count++
+	if b.count == b.size {
+		b.outVT = b.maxVT
+		b.maxVT = 0
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.outVT
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.outVT
+}

@@ -1,0 +1,100 @@
+package mpi
+
+import "fmt"
+
+// RectGrid views a communicator of qr*qc ranks as a (possibly rectangular)
+// qr × qc Cartesian process grid with rank = row*qc + col, and provides
+// binomial broadcasts along grid rows and columns — the communication
+// pattern of the SUMMA algorithm the paper's conclusion proposes for
+// non-square processor counts.
+type RectGrid struct {
+	c      *Comm
+	qr, qc int
+	row    int
+	col    int
+}
+
+const (
+	tagRowBcast = collTagBase + 200 + iota
+	tagColBcast
+)
+
+// NewRectGrid wraps c in a qr × qc grid view; qr*qc must equal the world
+// size.
+func NewRectGrid(c *Comm, qr, qc int) (*RectGrid, error) {
+	if qr <= 0 || qc <= 0 || qr*qc != c.Size() {
+		return nil, fmt.Errorf("mpi: %dx%d grid does not tile %d ranks", qr, qc, c.Size())
+	}
+	return &RectGrid{c: c, qr: qr, qc: qc, row: c.Rank() / qc, col: c.Rank() % qc}, nil
+}
+
+// Comm returns the underlying communicator.
+func (g *RectGrid) Comm() *Comm { return g.c }
+
+// Rows returns qr.
+func (g *RectGrid) Rows() int { return g.qr }
+
+// Cols returns qc.
+func (g *RectGrid) Cols() int { return g.qc }
+
+// Row returns this rank's grid row.
+func (g *RectGrid) Row() int { return g.row }
+
+// Col returns this rank's grid column.
+func (g *RectGrid) Col() int { return g.col }
+
+// RankAt returns the world rank at (row, col), wrapping cyclically.
+func (g *RectGrid) RankAt(row, col int) int {
+	return ((row%g.qr+g.qr)%g.qr)*g.qc + (col%g.qc+g.qc)%g.qc
+}
+
+// bcastGroup broadcasts data from members[rootIdx] to every rank in members
+// along a binomial tree over member indices. Each participant calls it with
+// its own position; the root passes data, others receive it.
+func bcastGroup(c *Comm, members []int, myIdx, rootIdx, tag int, data []byte) []byte {
+	n := len(members)
+	if n == 1 {
+		return data
+	}
+	rel := (myIdx - rootIdx + n) % n
+	if rel != 0 {
+		parent := members[(parentOf(rel)+rootIdx)%n]
+		data = c.Recv(parent, tag)
+	}
+	for _, child := range childrenOf(rel, n) {
+		c.Send(members[(child+rootIdx)%n], tag, data)
+	}
+	return data
+}
+
+// BcastRow broadcasts data from the rank at column rootCol within this
+// rank's grid row. The root passes the payload; everyone receives it.
+func (g *RectGrid) BcastRow(rootCol int, data []byte) []byte {
+	members := make([]int, g.qc)
+	for j := 0; j < g.qc; j++ {
+		members[j] = g.RankAt(g.row, j)
+	}
+	return bcastGroup(g.c, members, g.col, rootCol, tagRowBcast, data)
+}
+
+// BcastCol broadcasts data from the rank at row rootRow within this rank's
+// grid column.
+func (g *RectGrid) BcastCol(rootRow int, data []byte) []byte {
+	members := make([]int, g.qr)
+	for i := 0; i < g.qr; i++ {
+		members[i] = g.RankAt(i, g.col)
+	}
+	return bcastGroup(g.c, members, g.row, rootRow, tagColBcast, data)
+}
+
+// FactorGrid returns the most square qr × qc factorization of p with
+// qr <= qc (1 × p for primes).
+func FactorGrid(p int) (qr, qc int) {
+	qr = 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			qr = d
+		}
+	}
+	return qr, p / qr
+}

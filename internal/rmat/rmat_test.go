@@ -1,0 +1,161 @@
+package rmat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tc2d/internal/graph"
+)
+
+func TestEdgeDeterministic(t *testing.T) {
+	for i := int64(0); i < 100; i++ {
+		a := G500.Edge(12, 7, i)
+		b := G500.Edge(12, 7, i)
+		if a != b {
+			t.Fatalf("edge %d not deterministic", i)
+		}
+	}
+}
+
+func TestEdgeInRange(t *testing.T) {
+	const scale = 10
+	n := int32(1) << scale
+	for i := int64(0); i < 1000; i++ {
+		e := G500.Edge(scale, 3, i)
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			t.Fatalf("edge %d out of range: %+v", i, e)
+		}
+	}
+}
+
+func TestSlicesCompose(t *testing.T) {
+	// Generating [0,100) must equal [0,37) ++ [37,100).
+	whole := G500.EdgesSlice(10, 9, 0, 100)
+	head := G500.EdgesSlice(10, 9, 0, 37)
+	tail := G500.EdgesSlice(10, 9, 37, 100)
+	if len(head)+len(tail) != len(whole) {
+		t.Fatalf("lengths %d+%d != %d", len(head), len(tail), len(whole))
+	}
+	for i, e := range whole {
+		var got graph.Edge
+		if i < 37 {
+			got = head[i]
+		} else {
+			got = tail[i-37]
+		}
+		if got != e {
+			t.Fatalf("slice composition differs at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := G500.EdgesSlice(10, 1, 0, 50)
+	b := G500.EdgesSlice(10, 2, 0, 50)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 1 and 2 produced identical streams")
+	}
+}
+
+func TestGenerateValidSimpleGraph(t *testing.T) {
+	g, err := G500.Generate(10, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 {
+		t.Fatalf("n=%d", g.N)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	// Duplicates must have been removed: fewer edges than raw samples.
+	if g.NumEdges() >= 8*1024 {
+		t.Fatalf("edge count %d not deduplicated", g.NumEdges())
+	}
+}
+
+func TestSkewedParamsProduceSkew(t *testing.T) {
+	skewed, err := G500.Generate(12, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Friendsterish.Generate(12, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.MaxDegree() < 2*uniform.MaxDegree() {
+		t.Errorf("expected skew: g500 max degree %d vs uniform %d",
+			skewed.MaxDegree(), uniform.MaxDegree())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(256, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 256 {
+		t.Fatalf("n=%d", g.N)
+	}
+}
+
+func TestERSliceCompose(t *testing.T) {
+	whole := ERSlice(100, 3, 0, 60)
+	head := ERSlice(100, 3, 0, 20)
+	tail := ERSlice(100, 3, 20, 60)
+	for i, e := range whole {
+		var got graph.Edge
+		if i < 20 {
+			got = head[i]
+		} else {
+			got = tail[i-20]
+		}
+		if got != e {
+			t.Fatalf("ER slice composition differs at %d", i)
+		}
+	}
+}
+
+func TestPropertyEdgePure(t *testing.T) {
+	// Edge must be a pure function of (scale, seed, i) and in range.
+	f := func(seed uint64, idx uint16) bool {
+		i := int64(idx)
+		e1 := Twitterish.Edge(11, seed, i)
+		e2 := Twitterish.Edge(11, seed, i)
+		n := int32(1) << 11
+		return e1 == e2 && e1.U >= 0 && e1.U < n && e1.V >= 0 && e1.V < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGUniformish(t *testing.T) {
+	// Crude sanity: mean of many uniforms near 0.5.
+	r := newRNG(1, 2)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+}
