@@ -66,12 +66,37 @@ var (
 	Friendsterish = rmat.Friendsterish
 )
 
+// Transport selects how ranks exchange messages.
+type Transport int
+
+const (
+	// TransportChannel exchanges messages through in-process channels —
+	// the default and the fastest option for simulation runs.
+	TransportChannel Transport = iota
+	// TransportTCP sends every message over loopback TCP sockets
+	// (length-prefixed binary frames, one full-duplex connection per rank
+	// pair), exercising the wire discipline a multi-machine deployment
+	// needs. The SPMD algorithm code is identical; only the wire changes.
+	TransportTCP
+)
+
+func (t Transport) String() string {
+	if t == TransportTCP {
+		return "tcp"
+	}
+	return "channel"
+}
+
 // Options configures a distributed count. The zero value runs the paper's
 // full configuration on 1 rank.
 type Options struct {
 	// Ranks is the number of SPMD ranks; it must be a perfect square
 	// (default 1).
 	Ranks int
+
+	// Transport selects the message transport: in-process channels
+	// (default) or loopback TCP.
+	Transport Transport
 
 	// Enumeration selects ⟨j,i,k⟩ (default, recommended) or ⟨i,j,k⟩.
 	Enumeration Enumeration
@@ -145,6 +170,14 @@ func (o Options) useSUMMA(p int) bool {
 	return o.ForceSUMMA || mpi.SquareSide(p) < 0
 }
 
+// newWorld creates the runtime world on the selected transport.
+func (o Options) newWorld(p int) (*mpi.World, error) {
+	if o.Transport == TransportTCP {
+		return mpi.NewTCPWorld(p, o.mpiConfig())
+	}
+	return mpi.NewWorld(p, o.mpiConfig()), nil
+}
+
 // NewGraph builds a simple undirected graph from an edge list (self loops
 // dropped, duplicates merged, both directions stored).
 func NewGraph(n int32, edges []Edge) (*Graph, error) {
@@ -187,15 +220,21 @@ func countInput(in dgraph.Input, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !opt.useSUMMA(p) {
-		return core.CountGraph(p, opt.mpiConfig(), in, opt.coreOptions())
+	world, err := opt.newWorld(p)
+	if err != nil {
+		return nil, err
 	}
-	results, err := mpi.Run(p, opt.mpiConfig(), func(c *mpi.Comm) (any, error) {
+	defer world.Close()
+	summa := opt.useSUMMA(p)
+	results, err := world.Run(func(c *mpi.Comm) (any, error) {
 		d, err := in.Build(c)
 		if err != nil {
 			return nil, err
 		}
-		return core.CountSUMMA(c, d, opt.coreOptions())
+		if summa {
+			return core.CountSUMMA(c, d, opt.coreOptions())
+		}
+		return core.Count(c, d, opt.coreOptions())
 	})
 	if err != nil {
 		return nil, err

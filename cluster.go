@@ -1,0 +1,219 @@
+package tc2d
+
+import (
+	"errors"
+	"sync"
+
+	"tc2d/internal/core"
+	"tc2d/internal/dgraph"
+	"tc2d/internal/mpi"
+)
+
+// ErrClusterClosed is returned by operations on a closed Cluster.
+var ErrClusterClosed = errors.New("tc2d: cluster is closed")
+
+// QueryOptions configures one query against a resident Cluster. Only the
+// knobs that affect the counting phase appear here; everything that shapes
+// the resident state (ranks, enumeration rule, grid schedule, transport,
+// cost model) is fixed at NewCluster time. The zero value runs the paper's
+// fully optimized kernel.
+type QueryOptions struct {
+	// Optimization kill switches, as in Options.
+	NoDoublySparse bool
+	NoDirectHash   bool
+	NoEarlyBreak   bool
+	NoBlob         bool
+	// TrackPerShift records per-shift kernel times in the Result.
+	TrackPerShift bool
+}
+
+func (q QueryOptions) coreOptions(enum Enumeration) core.Options {
+	return core.Options{
+		Enumeration:    enum,
+		NoDoublySparse: q.NoDoublySparse,
+		NoDirectHash:   q.NoDirectHash,
+		NoEarlyBreak:   q.NoEarlyBreak,
+		NoBlob:         q.NoBlob,
+		TrackPerShift:  q.TrackPerShift,
+	}
+}
+
+// ClusterInfo is a snapshot of a resident cluster.
+type ClusterInfo struct {
+	// N and M are the global vertex and undirected-edge counts.
+	N, M int64
+	// Wedges is the global wedge count Σ_v d(v)·(d(v)-1)/2.
+	Wedges int64
+	// Ranks is the SPMD world size; Transport the message transport.
+	Ranks     int
+	Transport Transport
+	// Queries is the number of completed Count queries.
+	Queries int64
+	// PreOps and PreprocessTime describe the one-time preprocessing that
+	// built the resident state; CommFracPre its communication fraction.
+	PreOps         int64
+	PreprocessTime float64
+	CommFracPre    float64
+}
+
+// Cluster is a resident distributed graph: the preprocessing pipeline
+// (cyclic redistribution, degree relabeling, 2D block construction) runs
+// exactly once at construction, and the resulting per-rank blocks then serve
+// any number of counting queries. The SPMD world — including its rank
+// goroutines and, for TransportTCP, its sockets — stays up between queries;
+// each query is one epoch on that world.
+//
+// Methods are safe for concurrent use: queries from concurrent callers are
+// serialized into successive epochs. Close releases the world and is
+// idempotent.
+type Cluster struct {
+	mu        sync.Mutex
+	world     *mpi.World
+	prep      []*core.Prepared // per-rank resident state, indexed by rank
+	enum      Enumeration
+	ranks     int
+	transport Transport
+	queries   int64
+	lastTri   int64 // most recent triangle count, -1 until first query
+	closed    bool
+}
+
+// NewCluster builds a resident cluster over g: the graph is scattered to
+// opt.Ranks ranks and preprocessed into the 2D block distribution once.
+// Square rank counts use the Cannon schedule, other rank counts (or
+// opt.ForceSUMMA) the SUMMA schedule; opt.Transport selects in-process
+// channels or loopback TCP. The caller must Close the cluster.
+func NewCluster(g *Graph, opt Options) (*Cluster, error) {
+	return newCluster(dgraph.ScatterInput{Graph: g}, opt)
+}
+
+// NewClusterRMAT builds a resident cluster whose graph is generated in
+// parallel on the ranks themselves (as the paper does for its g500 inputs),
+// so no rank ever holds the full edge list.
+func NewClusterRMAT(params RMATParams, scale, edgeFactor int, seed uint64, opt Options) (*Cluster, error) {
+	in := dgraph.RMATInput{Params: params, Scale: scale, EdgeFactor: edgeFactor, Seed: seed}
+	return newCluster(in, opt)
+}
+
+func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
+	p, err := opt.ranks()
+	if err != nil {
+		return nil, err
+	}
+	world, err := opt.newWorld(p)
+	if err != nil {
+		return nil, err
+	}
+	summa := opt.useSUMMA(p)
+	copt := opt.coreOptions()
+	prep := make([]*core.Prepared, p)
+	_, err = world.Run(func(c *mpi.Comm) (any, error) {
+		d, err := in.Build(c)
+		if err != nil {
+			return nil, err
+		}
+		var pr *core.Prepared
+		if summa {
+			pr, err = core.PrepareSUMMA(c, d, copt)
+		} else {
+			pr, err = core.Prepare(c, d, copt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		prep[c.Rank()] = pr
+		return nil, nil
+	})
+	if err != nil {
+		world.Close()
+		return nil, err
+	}
+	return &Cluster{
+		world:     world,
+		prep:      prep,
+		enum:      opt.Enumeration,
+		ranks:     p,
+		transport: opt.Transport,
+		lastTri:   -1,
+	}, nil
+}
+
+// Count answers one triangle counting query against the resident blocks. No
+// preprocessing work is repeated: the returned Result has PreOps == 0 and
+// PreprocessTime == 0, and TotalTime is the counting phase alone. Safe for
+// concurrent callers (queries serialize into successive epochs).
+func (cl *Cluster) Count(q QueryOptions) (*Result, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.countLocked(q)
+}
+
+func (cl *Cluster) countLocked(q QueryOptions) (*Result, error) {
+	if cl.closed {
+		return nil, ErrClusterClosed
+	}
+	copt := q.coreOptions(cl.enum)
+	results, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
+		return core.CountPrepared(c, cl.prep[c.Rank()], copt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := results[0].(*core.Result)
+	cl.queries++
+	cl.lastTri = res.Triangles
+	return res, nil
+}
+
+// Transitivity returns the global clustering coefficient
+// 3·triangles / #wedges of the resident graph. The wedge count was reduced
+// during preprocessing; the triangle count reuses the most recent query's
+// result, or runs one default query if none has completed yet.
+func (cl *Cluster) Transitivity() (float64, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return 0, ErrClusterClosed
+	}
+	if cl.lastTri < 0 {
+		if _, err := cl.countLocked(QueryOptions{}); err != nil {
+			return 0, err
+		}
+	}
+	w := cl.prep[0].Wedges()
+	if w == 0 {
+		return 0, nil
+	}
+	return 3 * float64(cl.lastTri) / float64(w), nil
+}
+
+// Info returns a snapshot of the resident cluster.
+func (cl *Cluster) Info() ClusterInfo {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	p0 := cl.prep[0]
+	return ClusterInfo{
+		N:              p0.N(),
+		M:              p0.M(),
+		Wedges:         p0.Wedges(),
+		Ranks:          cl.ranks,
+		Transport:      cl.transport,
+		Queries:        cl.queries,
+		PreOps:         p0.PreOps(),
+		PreprocessTime: p0.PreprocessTime(),
+		CommFracPre:    p0.CommFracPre(),
+	}
+}
+
+// Close releases the cluster's world (rank goroutines and, for TCP, the
+// sockets). Close is idempotent; queries after Close return
+// ErrClusterClosed.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return nil
+	}
+	cl.closed = true
+	return cl.world.Close()
+}

@@ -1,0 +1,280 @@
+package tc2d
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Resident-cluster tests: build once, query many. The second and later
+// cluster.Count calls must perform no redistribute/relabel/block-build work
+// while returning counts identical to the one-shot pipeline and the
+// sequential oracle.
+
+func testClusterGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := GenerateRMAT(G500, 10, 8, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestClusterReuseSkipsPreprocessing(t *testing.T) {
+	g := testClusterGraph(t)
+	want := CountSequential(g)
+	oneShot, err := Count(g, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.Triangles != want {
+		t.Fatalf("one-shot Count: %d, sequential %d", oneShot.Triangles, want)
+	}
+
+	cl, err := NewCluster(g, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The resident per-rank state is built exactly once; queries must not
+	// replace it.
+	stateBefore := make([]any, len(cl.prep))
+	for i, p := range cl.prep {
+		stateBefore[i] = p
+	}
+
+	var results []*Result
+	for q := 0; q < 3; q++ {
+		res, err := cl.Count(QueryOptions{})
+		if err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+		results = append(results, res)
+	}
+	for q, res := range results {
+		if res.Triangles != want {
+			t.Errorf("query %d: %d triangles, want %d", q, res.Triangles, want)
+		}
+		if res.PreOps != 0 {
+			t.Errorf("query %d: PreOps=%d, want 0 — query repeated preprocessing work", q, res.PreOps)
+		}
+		if res.PreprocessTime != 0 {
+			t.Errorf("query %d: PreprocessTime=%v, want 0", q, res.PreprocessTime)
+		}
+		if res.TotalTime != res.CountTime {
+			t.Errorf("query %d: TotalTime=%v != CountTime=%v", q, res.TotalTime, res.CountTime)
+		}
+	}
+	for i, p := range cl.prep {
+		if stateBefore[i] != any(p) {
+			t.Errorf("rank %d: prepared state was rebuilt between queries", i)
+		}
+	}
+
+	info := cl.Info()
+	if info.Queries != 3 {
+		t.Errorf("Queries=%d, want 3", info.Queries)
+	}
+	if info.PreOps != oneShot.PreOps {
+		t.Errorf("cluster PreOps=%d, one-shot %d — the one-time build should match", info.PreOps, oneShot.PreOps)
+	}
+	if info.N != oneShot.N || info.M != oneShot.M {
+		t.Errorf("Info N=%d M=%d, one-shot N=%d M=%d", info.N, info.M, oneShot.N, oneShot.M)
+	}
+	// Prepare + 3 queries = 4 epochs on the resident world.
+	if e := cl.world.Epochs(); e != 4 {
+		t.Errorf("world ran %d epochs, want 4 (1 prepare + 3 queries)", e)
+	}
+}
+
+func TestClusterSUMMARanks(t *testing.T) {
+	// Non-square rank count → SUMMA schedule on the resident cluster.
+	g := testClusterGraph(t)
+	want := CountSequential(g)
+	cl, err := NewCluster(g, Options{Ranks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for q := 0; q < 2; q++ {
+		res, err := cl.Count(QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Triangles != want {
+			t.Errorf("query %d: %d triangles, want %d", q, res.Triangles, want)
+		}
+		if res.PreOps != 0 {
+			t.Errorf("query %d: PreOps=%d, want 0", q, res.PreOps)
+		}
+	}
+}
+
+func TestClusterTCPTransport(t *testing.T) {
+	g, err := GenerateRMAT(G500, 9, 8, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CountSequential(g)
+	cl, err := NewCluster(g, Options{Ranks: 4, Transport: TransportTCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for q := 0; q < 2; q++ {
+		res, err := cl.Count(QueryOptions{})
+		if err != nil {
+			t.Fatalf("query %d over TCP: %v", q, err)
+		}
+		if res.Triangles != want {
+			t.Errorf("query %d over TCP: %d triangles, want %d", q, res.Triangles, want)
+		}
+		if res.PreOps != 0 {
+			t.Errorf("query %d over TCP: PreOps=%d, want 0", q, res.PreOps)
+		}
+	}
+	if tr := cl.Info().Transport; tr != TransportTCP {
+		t.Errorf("Info().Transport=%v, want tcp", tr)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterConcurrentQueries(t *testing.T) {
+	g := testClusterGraph(t)
+	want := CountSequential(g)
+	cl, err := NewCluster(g, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	counts := make([]int64, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := cl.Count(QueryOptions{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			counts[i] = res.Triangles
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if counts[i] != want {
+			t.Errorf("caller %d: %d triangles, want %d", i, counts[i], want)
+		}
+	}
+	if q := cl.Info().Queries; q != callers {
+		t.Errorf("Queries=%d, want %d", q, callers)
+	}
+}
+
+func TestClusterQueryOptionsAblations(t *testing.T) {
+	g := testClusterGraph(t)
+	want := CountSequential(g)
+	cl, err := NewCluster(g, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, q := range []QueryOptions{
+		{},
+		{NoDoublySparse: true},
+		{NoDirectHash: true},
+		{NoEarlyBreak: true},
+		{NoBlob: true},
+		{NoDoublySparse: true, NoDirectHash: true, NoEarlyBreak: true, NoBlob: true},
+	} {
+		res, err := cl.Count(q)
+		if err != nil {
+			t.Fatalf("query %+v: %v", q, err)
+		}
+		if res.Triangles != want {
+			t.Errorf("query %+v: %d triangles, want %d", q, res.Triangles, want)
+		}
+	}
+}
+
+func TestClusterTransitivity(t *testing.T) {
+	g := testClusterGraph(t)
+	want := Transitivity(g)
+	cl, err := NewCluster(g, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	got, err := cl.Transitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("cluster transitivity %v, sequential %v", got, want)
+	}
+	// Transitivity with no prior query runs one implicitly.
+	if q := cl.Info().Queries; q != 1 {
+		t.Errorf("Queries=%d after Transitivity, want 1", q)
+	}
+}
+
+func TestClusterRMAT(t *testing.T) {
+	res, err := CountRMAT(G500, 10, 8, 21, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClusterRMAT(G500, 10, 8, 21, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	got, err := cl.Count(QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Triangles != res.Triangles {
+		t.Errorf("cluster RMAT count %d, one-shot %d", got.Triangles, res.Triangles)
+	}
+}
+
+func TestClusterCloseIdempotent(t *testing.T) {
+	g := testClusterGraph(t)
+	cl, err := NewCluster(g, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Count(QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cl.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	if _, err := cl.Count(QueryOptions{}); err != ErrClusterClosed {
+		t.Errorf("Count after Close: %v, want ErrClusterClosed", err)
+	}
+	if _, err := cl.Transitivity(); err != ErrClusterClosed {
+		t.Errorf("Transitivity after Close: %v, want ErrClusterClosed", err)
+	}
+}
+
+func TestClusterInvalidRanks(t *testing.T) {
+	g := testClusterGraph(t)
+	if _, err := NewCluster(g, Options{Ranks: -1}); err == nil {
+		t.Error("negative ranks should fail")
+	}
+	if _, err := NewCluster(nil, Options{Ranks: 4}); err == nil {
+		t.Error("nil graph should fail")
+	}
+}

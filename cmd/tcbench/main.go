@@ -34,6 +34,7 @@ func main() {
 		abl    = flag.String("ablation-ranks", "16,100", "rank counts for the ablation study")
 		reps   = flag.Int("repeats", 1, "repeat each measured point, keep the fastest (noise reduction)")
 		detail = flag.Bool("v", false, "print progress to stderr")
+		jsonTo = flag.String("json", "", "write machine-readable per-run scaling results to this file (forces the scaling sweep)")
 	)
 	flag.Parse()
 
@@ -71,8 +72,8 @@ func main() {
 
 	step("table1", func() error { return harness.Table1(w, specs) })
 
-	// The scaling sweep feeds Table 2 and Figures 1–3.
-	needScaling := sel("table2") || sel("fig1") || sel("fig2") || sel("fig3")
+	// The scaling sweep feeds Table 2, Figures 1–3 and the -json record.
+	needScaling := sel("table2") || sel("fig1") || sel("fig2") || sel("fig3") || *jsonTo != ""
 	var rows []harness.ScalingRow
 	if needScaling {
 		var err error
@@ -83,6 +84,24 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: scaling sweep: %v\n", err)
 			os.Exit(1)
+		}
+	}
+	if *jsonTo != "" {
+		f, err := os.Create(*jsonTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := harness.WriteScalingJSON(f, rows, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: write json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: close json: %v\n", err)
+			os.Exit(1)
+		}
+		if *detail {
+			fmt.Fprintf(os.Stderr, "tcbench: wrote %d runs to %s\n", len(rows), *jsonTo)
 		}
 	}
 	step("table2", func() error { return harness.Table2(w, rows) })

@@ -1,0 +1,3 @@
+module tc2d
+
+go 1.24

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"tc2d/internal/dgraph"
 	"tc2d/internal/mpi"
 )
@@ -13,70 +11,22 @@ import (
 // options; the world size must be a perfect square. The returned Result
 // carries the global triangle count and the phase/instrumentation data the
 // paper's experiments report.
+//
+// Count is a thin composition of the build-once / query-many layers: one
+// Prepare (preprocessing) followed by one CountPrepared (counting), with the
+// preprocessing accounting folded back into the Result. Callers that issue
+// many queries against the same graph should call Prepare once and
+// CountPrepared per query instead.
 func Count(c *mpi.Comm, in *dgraph.Dist1D, opt Options) (*Result, error) {
-	grid, err := mpi.NewGrid(c)
+	prep, err := Prepare(c, in, opt)
 	if err != nil {
 		return nil, err
 	}
-	if in == nil {
-		return nil, fmt.Errorf("core: nil input")
+	res, err := CountPrepared(c, prep, opt)
+	if err != nil {
+		return nil, err
 	}
-	if in.N < 1 {
-		return nil, fmt.Errorf("core: empty graph")
-	}
-
-	res := &Result{N: in.N}
-	localDirected := int64(len(in.Adj))
-
-	// ---- Preprocessing phase (fenced by barriers so the virtual phase
-	// times are identical on all ranks).
-	c.Barrier()
-	t0, s0 := c.Time(), c.Stats()
-
-	var preOps int64
-	d1 := cyclicRedistribute(c, in, &preOps)
-	rl := degreeRelabel(c, d1, &preOps)
-	blk := build2D(c, grid, rl, opt.Enumeration, &preOps)
-
-	c.Barrier()
-	t1, s1 := c.Time(), c.Stats()
-
-	// ---- Triangle counting phase.
-	kc, perShift := cannonCount(c, grid, blk, opt)
-
-	c.Barrier()
-	t2, s2 := c.Time(), c.Stats()
-
-	// ---- Global reductions of counters and instrumentation.
-	sums := c.AllreduceInt64s([]int64{kc.triangles, kc.probes, kc.mapTasks, preOps, localDirected}, mpi.OpSum)
-	res.Triangles = sums[0]
-	res.Probes = sums[1]
-	res.MapTasks = sums[2]
-	res.PreOps = sums[3]
-	res.M = sums[4] / 2
-
-	res.PreprocessTime = t1 - t0
-	res.CountTime = t2 - t1
-	res.TotalTime = t2 - t0
-
-	p := float64(c.Size())
-	fracPre, fracCnt := 0.0, 0.0
-	if dt := t1 - t0; dt > 0 {
-		fracPre = (s1.CommTime - s0.CommTime) / dt
-	}
-	if dt := t2 - t1; dt > 0 {
-		fracCnt = (s2.CommTime - s1.CommTime) / dt
-	}
-	res.CommFracPre = c.AllreduceFloat64(fracPre, mpi.OpSum) / p
-	res.CommFracCount = c.AllreduceFloat64(fracCnt, mpi.OpSum) / p
-
-	res.LocalTriangles = kc.triangles
-	for _, d := range perShift {
-		res.LocalKernelTime += d
-	}
-	if opt.TrackPerShift {
-		res.LocalPerShift = perShift
-	}
+	mergePrepare(res, prep)
 	return res, nil
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"tc2d/internal/dgraph"
 	"tc2d/internal/hashset"
 	"tc2d/internal/mpi"
@@ -26,67 +24,19 @@ func CountSUMMA(c *mpi.Comm, in *dgraph.Dist1D, opt Options) (*Result, error) {
 	return CountSUMMAGrid(c, in, qr, qc, opt)
 }
 
-// CountSUMMAGrid is CountSUMMA with an explicit qr × qc grid shape.
+// CountSUMMAGrid is CountSUMMA with an explicit qr × qc grid shape. Like
+// Count, it composes PrepareSUMMAGrid with CountPrepared; query-many callers
+// should hold the Prepared state and call CountPrepared directly.
 func CountSUMMAGrid(c *mpi.Comm, in *dgraph.Dist1D, qr, qc int, opt Options) (*Result, error) {
-	grid, err := mpi.NewRectGrid(c, qr, qc)
+	prep, err := PrepareSUMMAGrid(c, in, qr, qc, opt)
 	if err != nil {
 		return nil, err
 	}
-	if in == nil {
-		return nil, fmt.Errorf("core: nil input")
+	res, err := CountPrepared(c, prep, opt)
+	if err != nil {
+		return nil, err
 	}
-	if in.N < 1 {
-		return nil, fmt.Errorf("core: empty graph")
-	}
-	L := lcm(qr, qc)
-
-	res := &Result{N: in.N}
-	localDirected := int64(len(in.Adj))
-
-	c.Barrier()
-	t0, s0 := c.Time(), c.Stats()
-
-	var preOps int64
-	d1 := cyclicRedistribute(c, in, &preOps)
-	rl := degreeRelabel(c, d1, &preOps)
-	blk := buildSUMMA(c, grid, rl, L, opt.Enumeration, &preOps)
-
-	c.Barrier()
-	t1, s1 := c.Time(), c.Stats()
-
-	kc, perShift := summaCount(c, grid, blk, L, opt)
-
-	c.Barrier()
-	t2, s2 := c.Time(), c.Stats()
-
-	sums := c.AllreduceInt64s([]int64{kc.triangles, kc.probes, kc.mapTasks, preOps, localDirected}, mpi.OpSum)
-	res.Triangles = sums[0]
-	res.Probes = sums[1]
-	res.MapTasks = sums[2]
-	res.PreOps = sums[3]
-	res.M = sums[4] / 2
-	res.PreprocessTime = t1 - t0
-	res.CountTime = t2 - t1
-	res.TotalTime = t2 - t0
-
-	p := float64(c.Size())
-	fracPre, fracCnt := 0.0, 0.0
-	if dt := t1 - t0; dt > 0 {
-		fracPre = (s1.CommTime - s0.CommTime) / dt
-	}
-	if dt := t2 - t1; dt > 0 {
-		fracCnt = (s2.CommTime - s1.CommTime) / dt
-	}
-	res.CommFracPre = c.AllreduceFloat64(fracPre, mpi.OpSum) / p
-	res.CommFracCount = c.AllreduceFloat64(fracCnt, mpi.OpSum) / p
-
-	res.LocalTriangles = kc.triangles
-	for _, d := range perShift {
-		res.LocalKernelTime += d
-	}
-	if opt.TrackPerShift {
-		res.LocalPerShift = perShift
-	}
+	mergePrepare(res, prep)
 	return res, nil
 }
 

@@ -22,6 +22,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"tc2d/internal/core"
 	"tc2d/internal/dgraph"
@@ -132,6 +133,7 @@ func RunCore(spec Spec, p int, cfg Config) (*AggResult, error) {
 
 func runCoreOnce(spec Spec, p int, cfg Config) (*AggResult, error) {
 	opt := cfg.Options
+	t0 := time.Now()
 	results, err := mpi.Run(p, cfg.mpiConfig(), func(c *mpi.Comm) (any, error) {
 		in, err := spec.Input().Build(c)
 		if err != nil {
@@ -139,10 +141,11 @@ func runCoreOnce(spec Spec, p int, cfg Config) (*AggResult, error) {
 		}
 		return core.Count(c, in, opt)
 	})
+	wall := time.Since(t0).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s on %d ranks: %w", spec.Name, p, err)
 	}
-	agg := &AggResult{Result: *(results[0].(*core.Result)), Ranks: p}
+	agg := &AggResult{Result: *(results[0].(*core.Result)), Ranks: p, WallTotalSec: wall}
 	var sum float64
 	for _, r := range results {
 		res := r.(*core.Result)

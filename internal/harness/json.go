@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// jsonRun is one machine-readable measurement of the benchmark trajectory.
+type jsonRun struct {
+	Dataset       string  `json:"dataset"`
+	Ranks         int     `json:"ranks"`
+	N             int64   `json:"n"`
+	M             int64   `json:"m"`
+	Triangles     int64   `json:"triangles"`
+	PreprocessSec float64 `json:"preprocess_s"`
+	CountSec      float64 `json:"count_s"`
+	TotalSec      float64 `json:"total_s"`
+	CommFracPre   float64 `json:"comm_frac_pre"`
+	CommFracCount float64 `json:"comm_frac_count"`
+	PreOps        int64   `json:"pre_ops"`
+	Probes        int64   `json:"probes"`
+	MapTasks      int64   `json:"map_tasks"`
+	SpeedupAll    float64 `json:"speedup_all"`
+	WallSec       float64 `json:"wall_s"`
+}
+
+// jsonDoc is the envelope written by WriteScalingJSON; the schema is the
+// contract for the BENCH_*.json perf-trajectory records kept across PRs.
+type jsonDoc struct {
+	SchemaVersion int       `json:"schema_version"`
+	Generated     time.Time `json:"generated"`
+	CostModel     struct {
+		Alpha    float64 `json:"alpha_s"`
+		Beta     float64 `json:"beta_bytes_per_s"`
+		Overhead float64 `json:"overhead_s"`
+	} `json:"cost_model"`
+	Runs []jsonRun `json:"runs"`
+}
+
+// WriteScalingJSON emits the scaling-sweep measurements as a machine-
+// readable JSON document: one record per (dataset, ranks) point with the
+// triangle count, parallel phase times, communication fractions, operation
+// counters and real wall time.
+func WriteScalingJSON(w io.Writer, rows []ScalingRow, cfg Config) error {
+	var doc jsonDoc
+	doc.SchemaVersion = 1
+	doc.Generated = time.Now().UTC()
+	m := cfg.model()
+	doc.CostModel.Alpha = m.Alpha
+	doc.CostModel.Beta = m.Beta
+	doc.CostModel.Overhead = m.Overhead
+	doc.Runs = make([]jsonRun, 0, len(rows))
+	for _, r := range rows {
+		doc.Runs = append(doc.Runs, jsonRun{
+			Dataset:       r.Dataset,
+			Ranks:         r.Ranks,
+			N:             r.N,
+			M:             r.M,
+			Triangles:     r.Triangles,
+			PreprocessSec: r.PPT,
+			CountSec:      r.TCT,
+			TotalSec:      r.Overall,
+			CommFracPre:   r.FracPre,
+			CommFracCount: r.FracTCT,
+			PreOps:        r.PreOps,
+			Probes:        r.Probes,
+			MapTasks:      r.MapTasks,
+			SpeedupAll:    r.SpeedAll,
+			WallSec:       r.WallSec,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -48,6 +48,10 @@ type ScalingRow struct {
 	FracPre  float64
 	FracTCT  float64
 	MapTasks int64
+	// Machine-readable extras for the -json trajectory record:
+	Triangles int64
+	N, M      int64
+	WallSec   float64 // real seconds of the whole SPMD run
 }
 
 // RunScaling measures every dataset at every rank count: the data behind
@@ -66,20 +70,24 @@ func RunScaling(specs []Spec, cfg Config) ([]ScalingRow, error) {
 			}
 			p0 := float64(base.Ranks)
 			rows = append(rows, ScalingRow{
-				Dataset:  spec.Name,
-				Ranks:    p,
-				Expected: float64(p) / p0,
-				PPT:      agg.PreprocessTime,
-				TCT:      agg.CountTime,
-				Overall:  agg.TotalTime,
-				SpeedPPT: base.PreprocessTime / agg.PreprocessTime,
-				SpeedTCT: base.CountTime / agg.CountTime,
-				SpeedAll: base.TotalTime / agg.TotalTime,
-				PreOps:   agg.PreOps,
-				Probes:   agg.Probes,
-				FracPre:  agg.CommFracPre,
-				FracTCT:  agg.CommFracCount,
-				MapTasks: agg.MapTasks,
+				Dataset:   spec.Name,
+				Ranks:     p,
+				Expected:  float64(p) / p0,
+				PPT:       agg.PreprocessTime,
+				TCT:       agg.CountTime,
+				Overall:   agg.TotalTime,
+				SpeedPPT:  base.PreprocessTime / agg.PreprocessTime,
+				SpeedTCT:  base.CountTime / agg.CountTime,
+				SpeedAll:  base.TotalTime / agg.TotalTime,
+				PreOps:    agg.PreOps,
+				Probes:    agg.Probes,
+				FracPre:   agg.CommFracPre,
+				FracTCT:   agg.CommFracCount,
+				MapTasks:  agg.MapTasks,
+				Triangles: agg.Triangles,
+				N:         agg.N,
+				M:         agg.M,
+				WallSec:   agg.WallTotalSec,
 			})
 		}
 	}

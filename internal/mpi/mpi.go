@@ -78,7 +78,14 @@ type message struct {
 	depart float64 // virtual time at which the message is fully on the wire
 }
 
-// World owns the mailboxes and synchronization state for one SPMD run.
+// World owns the mailboxes and synchronization state for an SPMD runtime.
+// A world supports many Run epochs: rank goroutines are started lazily on
+// the first Run and then stay resident, pulling one job per epoch from their
+// job channel, so a distributed data structure built in one epoch can be
+// queried by later epochs without re-paying any setup. Epochs are serialized
+// (concurrent Run calls queue) and each epoch gets fresh virtual clocks and
+// stats. Call Close to retire the rank goroutines (and, for TCP worlds, the
+// sockets).
 type World struct {
 	size    int
 	model   CostModel
@@ -86,6 +93,14 @@ type World struct {
 	mail    [][]chan message // mail[dst][src]
 	barrier barrierState
 	wire    *tcpWire // non-nil when messages travel over loopback TCP
+
+	runMu    sync.Mutex // serializes epochs and guards the lifecycle state
+	jobs     []chan job // per-rank job channels feeding the resident goroutines
+	started  bool
+	closed   bool
+	epochs   int
+	loopWG   sync.WaitGroup
+	closeErr error
 }
 
 // NewWorld creates a world with p ranks.
@@ -135,29 +150,73 @@ func (e *RankPanicError) Error() string {
 	return fmt.Sprintf("mpi: rank %d panicked: %v\n%s", e.Rank, e.Value, e.Stack)
 }
 
-// Run executes fn on every rank concurrently and returns the per-rank results
-// once all ranks finish. If any rank returns an error or panics, Run returns
-// the first such error (by rank order) alongside the partial results.
+// job is one epoch's unit of work for a resident rank goroutine.
+type job struct {
+	fn      RankFunc
+	results []any
+	errs    []error
+	wg      *sync.WaitGroup
+}
+
+// rankLoop is the resident goroutine of one rank: it executes one job per
+// epoch with a fresh Comm (virtual clock and stats reset), surviving panics
+// so the world stays usable for further epochs.
+func (w *World) rankLoop(r int) {
+	defer w.loopWG.Done()
+	for j := range w.jobs[r] {
+		j.run(&Comm{world: w, rank: r})
+	}
+}
+
+func (j job) run(c *Comm) {
+	defer j.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 16<<10)
+			n := runtime.Stack(buf, false)
+			j.errs[c.rank] = &RankPanicError{Rank: c.rank, Value: v, Stack: string(buf[:n])}
+		}
+	}()
+	res, err := j.fn(c)
+	j.results[c.rank] = res
+	j.errs[c.rank] = err
+}
+
+// Run executes fn on every rank concurrently — one SPMD epoch — and returns
+// the per-rank results once all ranks finish. If any rank returns an error or
+// panics, Run returns the first such error (by rank order) alongside the
+// partial results.
+//
+// Run may be called repeatedly on the same world: rank goroutines are started
+// on the first call and stay resident between epochs, every epoch starts with
+// fresh virtual clocks and stats, and concurrent Run calls are serialized.
+// After an epoch that returned an error the mailboxes may hold undelivered
+// messages, so an errored world should be Closed, not reused.
 func (w *World) Run(fn RankFunc) ([]any, error) {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	if w.closed {
+		return nil, fmt.Errorf("mpi: Run on closed world")
+	}
+	if !w.started {
+		w.started = true
+		w.jobs = make([]chan job, w.size)
+		for r := range w.jobs {
+			w.jobs[r] = make(chan job, 1)
+		}
+		w.loopWG.Add(w.size)
+		for r := 0; r < w.size; r++ {
+			go w.rankLoop(r)
+		}
+	}
+	w.epochs++
 	results := make([]any, w.size)
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	wg.Add(w.size)
+	j := job{fn: fn, results: results, errs: errs, wg: &wg}
 	for r := 0; r < w.size; r++ {
-		c := &Comm{world: w, rank: r}
-		go func(c *Comm) {
-			defer wg.Done()
-			defer func() {
-				if v := recover(); v != nil {
-					buf := make([]byte, 16<<10)
-					n := runtime.Stack(buf, false)
-					errs[c.rank] = &RankPanicError{Rank: c.rank, Value: v, Stack: string(buf[:n])}
-				}
-			}()
-			res, err := fn(c)
-			results[c.rank] = res
-			errs[c.rank] = err
-		}(c)
+		w.jobs[r] <- j
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -168,9 +227,45 @@ func (w *World) Run(fn RankFunc) ([]any, error) {
 	return results, nil
 }
 
-// Run is a convenience that creates a world and runs fn on p ranks.
+// Epochs returns how many Run epochs have started on this world.
+func (w *World) Epochs() int {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	return w.epochs
+}
+
+// Close retires the world: the resident rank goroutines exit and, for TCP
+// worlds, the transport shuts down and the sockets are released. Close is
+// idempotent and returns the transport error, if any. It must not be called
+// concurrently with Run; a closed world cannot be reused.
+func (w *World) Close() error {
+	w.runMu.Lock()
+	if !w.closed {
+		w.closed = true
+		if w.started {
+			for _, ch := range w.jobs {
+				close(ch)
+			}
+		}
+		if w.wire != nil {
+			close(w.wire.done)
+			w.wire.closeAll()
+			w.wire.wg.Wait()
+			w.closeErr = w.wire.err
+		}
+	}
+	err := w.closeErr
+	w.runMu.Unlock()
+	w.loopWG.Wait()
+	return err
+}
+
+// Run is a convenience that creates a world, runs fn on p ranks for a single
+// epoch, and closes the world.
 func Run(p int, cfg Config, fn RankFunc) ([]any, error) {
-	return NewWorld(p, cfg).Run(fn)
+	w := NewWorld(p, cfg)
+	defer w.Close()
+	return w.Run(fn)
 }
 
 // Stats aggregates per-rank accounting. All virtual times are in seconds.

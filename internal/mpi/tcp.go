@@ -93,18 +93,6 @@ func NewTCPWorld(p int, cfg Config) (*World, error) {
 	return w, nil
 }
 
-// Close shuts down the TCP transport (no-op for channel worlds). It must
-// only be called after Run has returned.
-func (w *World) Close() error {
-	if w.wire == nil {
-		return nil
-	}
-	close(w.wire.done)
-	w.wire.closeAll()
-	w.wire.wg.Wait()
-	return w.wire.err
-}
-
 func (t *tcpWire) closeAll() {
 	for _, row := range t.conns {
 		for _, c := range row {
