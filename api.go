@@ -109,6 +109,14 @@ type Options struct {
 	// TrackPerShift records per-shift kernel times in the Result.
 	TrackPerShift bool
 
+	// RebuildFraction controls write-path staleness for resident clusters:
+	// once the effective updates applied since the last build exceed this
+	// fraction of the then-current edge count, ApplyUpdates rebuilds the
+	// blocks (fresh degree ordering) inside the same world. 0 means the
+	// default of 0.25; negative disables automatic rebuilds. Ignored by
+	// one-shot counts.
+	RebuildFraction float64
+
 	// ForceSUMMA schedules the computation with SUMMA broadcasts even for
 	// square rank counts. Non-square rank counts always use SUMMA (the
 	// rectangular-grid extension of the paper's §8); square ones default

@@ -134,6 +134,16 @@ func BenchmarkAblationOptimizations(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdates measures the mixed read/write scenario behind the
+// update-throughput table: delta applies interleaved with full queries.
+func BenchmarkUpdates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunUpdates(benchSpecs()[:1], []int{4, 9}, 256, 4, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCoreKernel measures raw end-to-end counting throughput on one
 // in-memory graph across grid sizes (not tied to a paper exhibit; useful for
 // regression tracking).

@@ -38,7 +38,9 @@ func (q QueryOptions) coreOptions(enum Enumeration) core.Options {
 	}
 }
 
-// ClusterInfo is a snapshot of a resident cluster.
+// ClusterInfo is a snapshot of a resident cluster. M and Wedges track
+// applied updates exactly (maintained incrementally by the write path), so
+// a snapshot taken after ApplyUpdates describes the mutated graph.
 type ClusterInfo struct {
 	// N and M are the global vertex and undirected-edge counts.
 	N, M int64
@@ -47,8 +49,12 @@ type ClusterInfo struct {
 	// Ranks is the SPMD world size; Transport the message transport.
 	Ranks     int
 	Transport Transport
-	// Queries is the number of completed Count queries.
-	Queries int64
+	// Queries is the number of completed Count queries; Updates the number
+	// of applied update batches; Rebuilds how often staleness (or an
+	// explicit Rebuild call) re-ran the preprocessing pipeline.
+	Queries  int64
+	Updates  int64
+	Rebuilds int64
 	// PreOps and PreprocessTime describe the one-time preprocessing that
 	// built the resident state; CommFracPre its communication fraction.
 	PreOps         int64
@@ -74,8 +80,15 @@ type Cluster struct {
 	ranks     int
 	transport Transport
 	queries   int64
-	lastTri   int64 // most recent triangle count, -1 until first query
+	lastTri   int64 // maintained triangle count, -1 until first query
 	closed    bool
+
+	// Write-path state (see ApplyUpdates/Rebuild in update.go).
+	rebuildFraction float64
+	baseM           int64 // edge count at the last build, staleness denominator
+	appliedEdges    int64 // effective updates applied since the last build
+	updates         int64 // batches applied over the cluster's lifetime
+	rebuilds        int64
 }
 
 // NewCluster builds a resident cluster over g: the graph is scattered to
@@ -128,13 +141,19 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 		world.Close()
 		return nil, err
 	}
+	frac := opt.RebuildFraction
+	if frac == 0 {
+		frac = 0.25
+	}
 	return &Cluster{
-		world:     world,
-		prep:      prep,
-		enum:      opt.Enumeration,
-		ranks:     p,
-		transport: opt.Transport,
-		lastTri:   -1,
+		world:           world,
+		prep:            prep,
+		enum:            opt.Enumeration,
+		ranks:           p,
+		transport:       opt.Transport,
+		lastTri:         -1,
+		rebuildFraction: frac,
+		baseM:           prep[0].M(),
 	}, nil
 }
 
@@ -166,9 +185,11 @@ func (cl *Cluster) countLocked(q QueryOptions) (*Result, error) {
 }
 
 // Transitivity returns the global clustering coefficient
-// 3·triangles / #wedges of the resident graph. The wedge count was reduced
-// during preprocessing; the triangle count reuses the most recent query's
-// result, or runs one default query if none has completed yet.
+// 3·triangles / #wedges of the resident graph. Both inputs stay exact
+// across updates: the wedge count is maintained incrementally by
+// ApplyUpdates and the triangle count is the delta-maintained running
+// total (one default query runs first if none has completed yet), so no
+// stale cache can leak into the ratio.
 func (cl *Cluster) Transitivity() (float64, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
@@ -199,6 +220,8 @@ func (cl *Cluster) Info() ClusterInfo {
 		Ranks:          cl.ranks,
 		Transport:      cl.transport,
 		Queries:        cl.queries,
+		Updates:        cl.updates,
+		Rebuilds:       cl.rebuilds,
 		PreOps:         p0.PreOps(),
 		PreprocessTime: p0.PreprocessTime(),
 		CommFracPre:    p0.CommFracPre(),

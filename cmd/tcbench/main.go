@@ -7,7 +7,12 @@
 //	tcbench -exp table5 -ranks 16,25,36
 //
 // Experiments: table1 table2 fig1 fig2 fig3 table3 table4 table5 table6
-// ablation probes. -delta shifts every dataset scale (negative = smaller/faster).
+// ablation probes updates. -delta shifts every dataset scale (negative =
+// smaller/faster). "updates" is the mixed read/write scenario: a resident
+// cluster absorbs batches of edge updates (delta counting, no rebuild)
+// interleaved with full count queries, reporting update throughput against
+// the full-rebuild alternative; it always runs when -json is given and its
+// rows land in the update_runs section (schema v2).
 // Modeled parallel times come from the runtime's LogGP-style virtual clocks;
 // see DESIGN.md for the calibration discussion.
 package main
@@ -34,7 +39,10 @@ func main() {
 		abl    = flag.String("ablation-ranks", "16,100", "rank counts for the ablation study")
 		reps   = flag.Int("repeats", 1, "repeat each measured point, keep the fastest (noise reduction)")
 		detail = flag.Bool("v", false, "print progress to stderr")
-		jsonTo = flag.String("json", "", "write machine-readable per-run scaling results to this file (forces the scaling sweep)")
+		jsonTo = flag.String("json", "", "write machine-readable per-run results to this file (forces the scaling sweep and the updates scenario)")
+		uRanks = flag.String("update-ranks", "4,9,16", "rank counts for the updates scenario")
+		uBatch = flag.Int("update-batch", 512, "edge updates per batch in the updates scenario")
+		uCount = flag.Int("update-batches", 8, "batches per point in the updates scenario")
 	)
 	flag.Parse()
 
@@ -86,13 +94,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The updates scenario feeds the "updates" table and the -json record.
+	var updRows []harness.UpdateRow
+	if sel("updates") || *jsonTo != "" {
+		var err error
+		if *detail {
+			fmt.Fprintf(os.Stderr, "tcbench: running updates scenario over ranks %s...\n", *uRanks)
+		}
+		updRows, err = harness.RunUpdates(specs, parseInts(*uRanks), *uBatch, *uCount, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: updates scenario: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonTo != "" {
 		f, err := os.Create(*jsonTo)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := harness.WriteScalingJSON(f, rows, cfg); err != nil {
+		if err := harness.WriteBenchJSON(f, rows, updRows, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: write json: %v\n", err)
 			os.Exit(1)
 		}
@@ -101,9 +122,10 @@ func main() {
 			os.Exit(1)
 		}
 		if *detail {
-			fmt.Fprintf(os.Stderr, "tcbench: wrote %d runs to %s\n", len(rows), *jsonTo)
+			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update runs to %s\n", len(rows), len(updRows), *jsonTo)
 		}
 	}
+	step("updates", func() error { return harness.TableUpdates(w, updRows) })
 	step("table2", func() error { return harness.Table2(w, rows) })
 	step("fig1", func() error { return harness.Figure1(w, rows) })
 	step("fig2", func() error { return harness.Figure2(w, rows, specs[1].Name) })

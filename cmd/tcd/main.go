@@ -14,11 +14,16 @@
 //
 // Endpoints:
 //
-//	GET /count         — triangle count (query params: nodoublysparse,
+//	GET  /count        — triangle count (query params: nodoublysparse,
 //	                     nodirecthash, noearlybreak, noblob, any of =1/true)
-//	GET /transitivity  — global clustering coefficient
-//	GET /stats         — graph, cluster and service statistics
-//	GET /healthz       — liveness probe
+//	GET  /transitivity — global clustering coefficient
+//	POST /update       — apply a batch of edge insertions/deletions:
+//	                     {"updates":[{"u":1,"v":2,"op":"insert"}, ...]};
+//	                     counts are maintained incrementally (delta
+//	                     counting), no preprocessing re-runs
+//	GET  /stats        — graph, cluster and service statistics
+//	GET  /healthz      — liveness/readiness probe; returns 503 once
+//	                     shutdown has begun so load balancers drain first
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 		preset = flag.String("preset", "g500", "RMAT preset: g500, twitter, friendster")
 		tcp    = flag.Bool("tcp", false, "use the loopback TCP transport between ranks")
 		slots  = flag.Int("slots", 0, "compute slots (0 = GOMAXPROCS, fastest wall time)")
+		drain  = flag.Duration("drain", time.Second, "grace period after /healthz flips to 503 before the listener closes")
 	)
 	flag.Parse()
 
@@ -67,7 +73,8 @@ func main() {
 	log.Printf("tcd: resident cluster up in %v: %s, n=%d m=%d, %d ranks (%v transport)",
 		time.Since(start).Round(time.Millisecond), desc, info.N, info.M, info.Ranks, info.Transport)
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(cluster, desc, start)}
+	s := newServer(cluster, desc, start)
+	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 	go func() {
 		log.Printf("tcd: serving on %s", *addr)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -78,10 +85,18 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("tcd: shutting down")
+	// Graceful drain: healthz flips to 503 first and stays probeable for
+	// the grace period (load balancers stop routing here), then Shutdown
+	// waits for in-flight queries/updates, then the cluster's world and
+	// sockets come down.
+	s.draining.Store(true)
+	log.Printf("tcd: shutting down (healthz now 503; draining for %v)", *drain)
+	time.Sleep(*drain)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	srv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("tcd: drain: %v", err)
+	}
 	if err := cluster.Close(); err != nil {
 		log.Printf("tcd: cluster close: %v", err)
 	}
@@ -124,18 +139,29 @@ type server struct {
 	start    time.Time
 	requests atomic.Int64
 	errors   atomic.Int64
+	draining atomic.Bool
 }
 
-func newHandler(cl *tc2d.Cluster, desc string, start time.Time) http.Handler {
-	s := &server{cluster: cl, desc: desc, start: start}
+func newServer(cl *tc2d.Cluster, desc string, start time.Time) *server {
+	return &server{cluster: cl, desc: desc, start: start}
+}
+
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /count", s.handleCount)
 	mux.HandleFunc("GET /transitivity", s.handleTransitivity)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func boolParam(r *http.Request, name string) bool {
@@ -183,6 +209,62 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// updateRequest is the POST /update body.
+type updateRequest struct {
+	Updates []struct {
+		U  int32  `json:"u"`
+		V  int32  `json:"v"`
+		Op string `json:"op"`
+	} `json:"updates"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errors.Add(1)
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	batch := make([]tc2d.EdgeUpdate, 0, len(req.Updates))
+	for i, u := range req.Updates {
+		upd := tc2d.EdgeUpdate{U: u.U, V: u.V}
+		switch u.Op {
+		case "insert", "":
+			upd.Op = tc2d.UpdateInsert
+		case "delete":
+			upd.Op = tc2d.UpdateDelete
+		default:
+			s.errors.Add(1)
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("update %d: unknown op %q (want insert or delete)", i, u.Op)})
+			return
+		}
+		batch = append(batch, upd)
+	}
+	t0 := time.Now()
+	res, err := s.cluster.ApplyUpdates(batch)
+	if err != nil {
+		s.errors.Add(1)
+		s.writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"inserted":         res.Inserted,
+		"deleted":          res.Deleted,
+		"skipped_existing": res.SkippedExisting,
+		"skipped_missing":  res.SkippedMissing,
+		"skipped_loops":    res.SkippedLoops,
+		"delta_triangles":  res.DeltaTriangles,
+		"triangles":        res.Triangles,
+		"m":                res.M,
+		"wedges":           res.Wedges,
+		"rebuilt":          res.Rebuilt,
+		"apply_time_s":     res.ApplyTime,
+		"wall_ms":          float64(time.Since(t0).Microseconds()) / 1000,
+	})
+}
+
 func (s *server) handleTransitivity(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	t0 := time.Now()
@@ -213,6 +295,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"ranks":             info.Ranks,
 			"transport":         info.Transport.String(),
 			"queries":           info.Queries,
+			"updates":           info.Updates,
+			"rebuilds":          info.Rebuilds,
 			"pre_ops":           info.PreOps,
 			"preprocess_time_s": info.PreprocessTime,
 			"comm_frac_pre":     info.CommFracPre,

@@ -31,6 +31,15 @@ type Prepared struct {
 	preOps  int64
 	preTime float64
 	fracPre float64
+
+	// Retained routing state for the dynamic-update subsystem
+	// (internal/delta): the degree-relabel permutation over this rank's
+	// cyclic-id range — composed with the closed-form cyclic map it routes
+	// update batches from original vertex ids to current labels — and the
+	// lazily built row-adjacency mirror the write path splices.
+	labels   []int32 // final label of cyclic id labelBeg+i
+	labelBeg int32   // first cyclic id owned by this rank
+	mirror   *rowMirror
 }
 
 // N returns the global vertex count.
@@ -120,6 +129,7 @@ func Prepare(c *mpi.Comm, in *dgraph.Dist1D, opt Options) (*Prepared, error) {
 	var preOps int64
 	d1 := cyclicRedistribute(c, in, &preOps)
 	rl := degreeRelabel(c, d1, &preOps)
+	prep.labels, prep.labelBeg = rl.labels, d1.VBeg
 	prep.blk = build2D(c, grid, rl, opt.Enumeration, &preOps)
 
 	c.Barrier()
@@ -150,6 +160,7 @@ func PrepareSUMMAGrid(c *mpi.Comm, in *dgraph.Dist1D, qr, qc int, opt Options) (
 	var preOps int64
 	d1 := cyclicRedistribute(c, in, &preOps)
 	rl := degreeRelabel(c, d1, &preOps)
+	prep.labels, prep.labelBeg = rl.labels, d1.VBeg
 	prep.sblk = buildSUMMA(c, grid, rl, L, opt.Enumeration, &preOps)
 
 	c.Barrier()

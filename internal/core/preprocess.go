@@ -24,20 +24,36 @@ func numWithResidue(n int64, q, r int) int32 {
 	return int32((n - int64(r) + int64(q) - 1) / int64(q))
 }
 
-// cyclicRedistribute implements step (i): vertex v moves to rank v mod p and
-// is relabeled to newid(v) = offset[v mod p] + v div p, which makes every
-// rank's ownership a contiguous range again (identical to BlockRange of the
-// new labels, because the first n mod p ranks receive one extra vertex).
-func cyclicRedistribute(c *mpi.Comm, in *dgraph.Dist1D, ops *int64) *dgraph.Dist1D {
-	p := c.Size()
-	n := in.N
+// CyclicOffsets returns the per-rank start offsets of the cyclic relabeling:
+// offset[r] is the first new id owned by rank r, offset[p] == n. Rank
+// ownership of the new ids is identical to BlockRange because the first
+// n mod p ranks receive one extra vertex.
+func CyclicOffsets(n int64, p int) []int64 {
 	offset := make([]int64, p+1)
 	for r := 0; r < p; r++ {
 		offset[r+1] = offset[r] + int64(numWithResidue(n, p, r))
 	}
-	newid := func(v int32) int32 {
-		return int32(offset[int(v)%p] + int64(v)/int64(p))
-	}
+	return offset
+}
+
+// CyclicID maps an original vertex id to its id after the cyclic
+// redistribution (step (i) of preprocessing): v moves to rank v mod p and
+// becomes offset[v mod p] + v div p. offset must come from CyclicOffsets
+// with the same n and p. The dynamic-update subsystem uses this closed form
+// to route batches given in original ids without any retained per-vertex
+// map.
+func CyclicID(offset []int64, v int32, p int) int32 {
+	return int32(offset[int(v)%p] + int64(v)/int64(p))
+}
+
+// cyclicRedistribute implements step (i): vertex v moves to rank v mod p and
+// is relabeled to CyclicID(v), which makes every rank's ownership a
+// contiguous range again.
+func cyclicRedistribute(c *mpi.Comm, in *dgraph.Dist1D, ops *int64) *dgraph.Dist1D {
+	p := c.Size()
+	n := in.N
+	offset := CyclicOffsets(n, p)
+	newid := func(v int32) int32 { return CyclicID(offset, v, p) }
 
 	sendbuf := make([][]int32, p)
 	c.Compute(func() {

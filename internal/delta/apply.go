@@ -1,0 +1,297 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"tc2d/internal/core"
+	"tc2d/internal/dgraph"
+	"tc2d/internal/hashset"
+	"tc2d/internal/mpi"
+)
+
+// packEdge packs a canonical (a < b) label pair into one map key.
+func packEdge(a, b int32) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(a)<<32 | int64(uint32(b))
+}
+
+// Apply runs one canonicalized update batch against resident state as a
+// single SPMD epoch. Every rank calls it with its own Prepared state; the
+// batch slice is read on rank 0 and broadcast (other ranks may pass the
+// same slice or nil). The returned Result is identical on every rank and
+// reports zero preprocessing operations: the pipeline never re-runs.
+//
+// The epoch's phases: broadcast the batch; resolve current labels of the
+// batch endpoints through the retained cyclic/relabel maps; validate each
+// update at the rank owning its U-side entry (inserts of present edges
+// and deletes of absent ones become skips, consistently on every rank);
+// capture pre-splice degrees for the wedge delta; run the deletion delta
+// pass against the old graph; splice all blocks in place; run the
+// insertion delta pass against the new graph; reduce the discovery
+// buckets and fold the weighted formula into the resident totals.
+func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
+	p := c.Size()
+	n := prep.N()
+	qr, qc, _ := prep.GridShape()
+	x, y := c.Rank()/qc, c.Rank()%qc
+
+	c.Barrier()
+	t0, s0 := c.Time(), c.Stats()
+
+	// Broadcast the canonical batch as (u, v, op) triples.
+	var enc []int32
+	if c.Rank() == 0 {
+		c.Compute(func() {
+			enc = make([]int32, 0, 3*len(batch))
+			for _, upd := range batch {
+				enc = append(enc, upd.U, upd.V, int32(upd.Op))
+			}
+		})
+	}
+	enc = mpi.BytesToInt32s(c.Bcast(0, mpi.Int32sToBytes(enc)))
+	nb := len(enc) / 3
+
+	// Resolve the current label of every distinct batch endpoint: the
+	// block owner of a vertex's cyclic id holds its slot of the retained
+	// permutation; a single max-allreduce over a (-1)-initialized vector
+	// completes every rank's view.
+	var verts []int32
+	c.Compute(func() {
+		seen := make(map[int32]struct{}, 2*nb)
+		for i := 0; i < len(enc); i += 3 {
+			seen[enc[i]] = struct{}{}
+			seen[enc[i+1]] = struct{}{}
+		}
+		verts = make([]int32, 0, len(seen))
+		for v := range seen {
+			verts = append(verts, v)
+		}
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	})
+	offsets := core.CyclicOffsets(n, p)
+	labelBeg, labels := prep.Labels()
+	req := make([]int64, len(verts))
+	c.Compute(func() {
+		for idx, v := range verts {
+			req[idx] = -1
+			v1 := core.CyclicID(offsets, v, p)
+			if dgraph.BlockOwner(v1, n, p) == c.Rank() {
+				req[idx] = int64(labels[v1-labelBeg])
+			}
+		}
+	})
+	resolved := c.AllreduceInt64s(req, mpi.OpMax)
+	labelOf := func(v int32) int32 {
+		i := sort.Search(len(verts), func(i int) bool { return verts[i] >= v })
+		return int32(resolved[i])
+	}
+
+	// The labeled batch, canonical in label space (la < lb), aligned with
+	// the broadcast order.
+	edges := make([][2]int32, nb)
+	ops := make([]Op, nb)
+	c.Compute(func() {
+		for i := 0; i < nb; i++ {
+			la, lb := labelOf(enc[3*i]), labelOf(enc[3*i+1])
+			if la > lb {
+				la, lb = lb, la
+			}
+			edges[i] = [2]int32{la, lb}
+			ops[i] = Op(enc[3*i+2])
+		}
+	})
+
+	prep.EnsureAdjacency(c)
+
+	// Validate: the owner of the directed (la → lb) entry adjudicates.
+	valid := make([]int64, nb)
+	c.Compute(func() {
+		for i := range valid {
+			valid[i] = -1
+			la, lb := edges[i][0], edges[i][1]
+			if int(la)%qr == x && int(lb)%qc == y {
+				exists := prep.HasEdgeLocal(la, lb)
+				ok := exists == (ops[i] == OpDelete)
+				if ok {
+					valid[i] = 1
+				} else {
+					valid[i] = 0
+				}
+			}
+		}
+	})
+	valid = c.AllreduceInt64s(valid, mpi.OpMax)
+
+	r := &Result{}
+	var ins, dels [][2]int32
+	for i := 0; i < nb; i++ {
+		switch {
+		case valid[i] < 0:
+			return nil, fmt.Errorf("delta: update %d had no adjudicating rank", i)
+		case valid[i] == 0:
+			if ops[i] == OpInsert {
+				r.SkippedExisting++
+			} else {
+				r.SkippedMissing++
+			}
+		case ops[i] == OpInsert:
+			ins = append(ins, edges[i])
+			r.Inserted++
+		default:
+			dels = append(dels, edges[i])
+			r.Deleted++
+		}
+	}
+
+	// Wedge delta: pre-splice degrees of the affected vertices (each grid
+	// row's ranks hold disjoint column-class partials) plus the net
+	// incident update count give the exact new wedge total. Every rank
+	// derives the identical delta from the reduced degrees.
+	var affected []int32
+	net := map[int32]int64{}
+	c.Compute(func() {
+		for _, e := range ins {
+			net[e[0]]++
+			net[e[1]]++
+		}
+		for _, e := range dels {
+			net[e[0]]--
+			net[e[1]]--
+		}
+		affected = make([]int32, 0, len(net))
+		for w := range net {
+			affected = append(affected, w)
+		}
+		sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	})
+	d0 := make([]int64, len(affected))
+	c.Compute(func() {
+		for idx, w := range affected {
+			if int(w)%qr == x {
+				d0[idx] = int64(len(prep.AdjRow(w)))
+			}
+		}
+	})
+	d0 = c.AllreduceInt64s(d0, mpi.OpSum)
+	var dWedges int64
+	for idx, w := range affected {
+		old := d0[idx]
+		new_ := old + net[w]
+		dWedges += new_*(new_-1)/2 - old*(old-1)/2
+	}
+
+	// Deletion pass against the old graph, splice, insertion pass against
+	// the new graph.
+	dCnt, dProbes := deltaPass(c, prep, dels, qr, qc, x, y)
+	prep.Splice(c, ins, dels)
+	iCnt, iProbes := deltaPass(c, prep, ins, qr, qc, x, y)
+
+	sums := c.AllreduceInt64s([]int64{
+		dCnt[0], dCnt[1], dCnt[2],
+		iCnt[0], iCnt[1], iCnt[2],
+		dProbes + iProbes,
+	}, mpi.OpSum)
+	if sums[1]%2 != 0 || sums[2]%3 != 0 || sums[4]%2 != 0 || sums[5]%3 != 0 {
+		return nil, fmt.Errorf("delta: discovery buckets not divisible (%v) — resident state inconsistent", sums[:6])
+	}
+	r.DeltaTriangles = (sums[3] + sums[4]/2 + sums[5]/3) - (sums[0] + sums[1]/2 + sums[2]/3)
+	r.Probes = sums[6]
+
+	prep.AdjustTotals(int64(r.Inserted-r.Deleted), dWedges)
+	r.M, r.Wedges = prep.M(), prep.Wedges()
+
+	c.Barrier()
+	t1, s1 := c.Time(), c.Stats()
+	r.ApplyTime = t1 - t0
+	frac := 0.0
+	if dt := t1 - t0; dt > 0 {
+		frac = (s1.CommTime - s0.CommTime) / dt
+	}
+	r.CommFrac = c.AllreduceFloat64(frac, mpi.OpSum) / float64(p)
+	return r, nil
+}
+
+// deltaPass counts the discoveries of triangles through each marked edge
+// against the current resident graph, bucketed by how many of the other
+// two edges are themselves marked (0, 1 or 2). The marked list must be
+// identical on every rank.
+//
+// For marked edge (a, b) and each grid column class, the rank holding
+// row a in that class ships the row to the rank holding row b (same grid
+// column, grid row b mod qr), which intersects the two rows with the
+// kernel's hash-probe machinery — third vertices are partitioned by
+// column residue, so the union over classes covers each one exactly
+// once. Rows whose endpoints share a grid row intersect locally; all
+// cross-row traffic travels through one sparse all-to-all.
+func deltaPass(c *mpi.Comm, prep *core.Prepared, marked [][2]int32, qr, qc, x, y int) ([3]int64, int64) {
+	var cnt [3]int64
+	var probes int64
+	if len(marked) == 0 {
+		return cnt, 0
+	}
+	mset := make(map[int64]struct{}, len(marked))
+	send := make([][]int32, c.Size())
+	c.Compute(func() {
+		for _, e := range marked {
+			mset[packEdge(e[0], e[1])] = struct{}{}
+		}
+		for i, e := range marked {
+			ar, br := int(e[0])%qr, int(e[1])%qr
+			if ar == br || ar != x {
+				continue
+			}
+			row := prep.AdjRow(e[0])
+			dst := br*qc + y
+			send[dst] = append(send[dst], int32(i), int32(len(row)))
+			send[dst] = append(send[dst], row...)
+		}
+	})
+	got := c.AlltoallvSparseInt32(send)
+	c.Compute(func() {
+		set := hashset.New(64)
+		process := func(e [2]int32, rowA []int32) {
+			a, b := e[0], e[1]
+			rowB := prep.AdjRow(b)
+			if len(rowA) == 0 || len(rowB) == 0 {
+				return
+			}
+			set.Grow(8 * len(rowA))
+			// Same direct-mode rule as the kernel: collision-free single-AND
+			// hashing when the row's largest key fits under the mask.
+			set.Reset(rowA[len(rowA)-1] <= set.Mask())
+			for _, w := range rowA {
+				set.Insert(w)
+			}
+			for _, w := range rowB {
+				probes++
+				if !set.Contains(w) {
+					continue
+				}
+				o := 0
+				if _, ok := mset[packEdge(a, w)]; ok {
+					o++
+				}
+				if _, ok := mset[packEdge(b, w)]; ok {
+					o++
+				}
+				cnt[o]++
+			}
+		}
+		for _, e := range marked {
+			if br := int(e[1]) % qr; int(e[0])%qr == br && br == x {
+				process(e, prep.AdjRow(e[0]))
+			}
+		}
+		for _, buf := range got {
+			for i := 0; i < len(buf); {
+				idx, l := buf[i], int(buf[i+1])
+				process(marked[idx], buf[i+2:i+2+l])
+				i += 2 + l
+			}
+		}
+	})
+	return cnt, probes
+}

@@ -1,0 +1,147 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"tc2d/internal/core"
+	"tc2d/internal/dgraph"
+	"tc2d/internal/mpi"
+)
+
+// Rebuild re-runs the preprocessing pipeline over the CURRENT resident
+// graph — fresh degree ordering, fresh 2D blocks — inside the same world,
+// and returns the replacement per-rank state. Updates shift degrees, so
+// after enough of them the retained non-decreasing-degree relabeling no
+// longer reflects the graph and the kernel's load balance and early-break
+// effectiveness degrade; a rebuild restores them without tearing down the
+// world or the transport.
+//
+// Three steps, all SPMD: (1) every rank routes its partial mirror rows to
+// the 1D block owners of the row vertices, reassembling a Dist1D over the
+// current label space; (2) the ordinary Prepare/PrepareSUMMAGrid pipeline
+// runs on it, on the same grid shape and enumeration rule; (3) the fresh
+// permutation — which maps the previous label space — is composed with the
+// retained one through a sparse request/response, so the returned state
+// routes original vertex ids directly, no matter how many rebuilds have
+// run. The triangle count is untouched (same graph, new layout); edge and
+// wedge totals are recomputed by the pipeline and verified against the
+// incrementally maintained ones.
+func Rebuild(c *mpi.Comm, prep *core.Prepared) (*core.Prepared, error) {
+	p := c.Size()
+	n := prep.N()
+	qr, qc, summa := prep.GridShape()
+	prep.EnsureAdjacency(c)
+	rowMod, _, rowRes, _ := prep.MirrorShape()
+
+	// (1) Reassemble the current graph as a 1D block distribution over the
+	// current labels: each rank's mirror holds one column-class slice of
+	// each of its rows, routed to the block owner of the row vertex.
+	send := make([][]int32, p)
+	c.Compute(func() {
+		for la := int32(rowRes); int64(la) < n; la += int32(rowMod) {
+			row := prep.AdjRow(la)
+			if len(row) == 0 {
+				continue
+			}
+			dst := dgraph.BlockOwner(la, n, p)
+			send[dst] = append(send[dst], la, int32(len(row)))
+			send[dst] = append(send[dst], row...)
+		}
+	})
+	got := c.AlltoallvInt32(send)
+	beg, end := dgraph.BlockRange(c.Rank(), n, p)
+	dist := &dgraph.Dist1D{N: n, VBeg: beg, VEnd: end}
+	c.Compute(func() {
+		nloc := int(end - beg)
+		sizes := make([]int64, nloc+1)
+		for _, part := range got {
+			for i := 0; i < len(part); {
+				lv := part[i] - beg
+				cnt := int(part[i+1])
+				sizes[lv+1] += int64(cnt)
+				i += 2 + cnt
+			}
+		}
+		xadj := make([]int64, nloc+1)
+		for v := 0; v < nloc; v++ {
+			xadj[v+1] = xadj[v] + sizes[v+1]
+		}
+		adj := make([]int32, xadj[nloc])
+		next := make([]int64, nloc)
+		copy(next, xadj[:nloc])
+		for _, part := range got {
+			for i := 0; i < len(part); {
+				lv := part[i] - beg
+				cnt := int(part[i+1])
+				copy(adj[next[lv]:next[lv]+int64(cnt)], part[i+2:i+2+cnt])
+				next[lv] += int64(cnt)
+				i += 2 + cnt
+			}
+		}
+		for v := 0; v < nloc; v++ {
+			row := adj[xadj[v]:xadj[v+1]]
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		}
+		dist.Xadj, dist.Adj = xadj, adj
+	})
+
+	// (2) The ordinary pipeline, same grid shape and enumeration.
+	copt := core.Options{Enumeration: prep.Enumeration()}
+	var np *core.Prepared
+	var err error
+	if summa {
+		np, err = core.PrepareSUMMAGrid(c, dist, qr, qc, copt)
+	} else {
+		np, err = core.Prepare(c, dist, copt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if np.M() != prep.M() || np.Wedges() != prep.Wedges() {
+		return nil, fmt.Errorf("delta: rebuild recomputed m=%d wedges=%d, maintained m=%d wedges=%d",
+			np.M(), np.Wedges(), prep.M(), prep.Wedges())
+	}
+
+	// (3) Compose the permutations: the fresh state's map is keyed by
+	// cyclic ids of the OLD label space; rewrite each retained slot
+	// (cyclic-original id → old label) through the owner of the old
+	// label's cyclic id.
+	offsets := core.CyclicOffsets(n, p)
+	oldBeg, oldLabels := prep.Labels()
+	newBeg, newLabels := np.Labels()
+	req := make([][]int32, p)
+	slots := make([][]int32, p)
+	c.Compute(func() {
+		for lv, w := range oldLabels {
+			dst := dgraph.BlockOwner(core.CyclicID(offsets, w, p), n, p)
+			req[dst] = append(req[dst], w)
+			slots[dst] = append(slots[dst], int32(lv))
+		}
+	})
+	asked := c.AlltoallvSparseInt32(req)
+	resp := make([][]int32, p)
+	c.Compute(func() {
+		for src, ws := range asked {
+			if len(ws) == 0 {
+				continue
+			}
+			out := make([]int32, len(ws))
+			for j, w := range ws {
+				out[j] = newLabels[core.CyclicID(offsets, w, p)-newBeg]
+			}
+			resp[src] = out
+		}
+	})
+	answers := c.AlltoallvSparseInt32(resp)
+	composed := make([]int32, len(oldLabels))
+	c.Compute(func() {
+		for dst := range slots {
+			for j, lv := range slots[dst] {
+				composed[lv] = answers[dst][j]
+			}
+		}
+	})
+	np.SetLabels(oldBeg, composed)
+	return np, nil
+}

@@ -25,8 +25,29 @@ type jsonRun struct {
 	WallSec       float64 `json:"wall_s"`
 }
 
-// jsonDoc is the envelope written by WriteScalingJSON; the schema is the
+// jsonUpdateRun is one machine-readable measurement of the dynamic-update
+// scenario (schema v2).
+type jsonUpdateRun struct {
+	Dataset       string  `json:"dataset"`
+	Ranks         int     `json:"ranks"`
+	BatchSize     int     `json:"batch_size"`
+	Batches       int     `json:"batches"`
+	N             int64   `json:"n"`
+	M             int64   `json:"m"`
+	Triangles     int64   `json:"triangles"`
+	ApplySec      float64 `json:"apply_s"`
+	UpdatesPerSec float64 `json:"updates_per_s"`
+	QuerySec      float64 `json:"query_s"`
+	PrepSec       float64 `json:"build_s"`
+	DeltaSpeedup  float64 `json:"delta_speedup"`
+	WallSec       float64 `json:"wall_s"`
+}
+
+// jsonDoc is the envelope written by WriteBenchJSON; the schema is the
 // contract for the BENCH_*.json perf-trajectory records kept across PRs.
+// Schema v2 adds the update_runs section (absent or empty when the update
+// scenario did not run); v1 readers that ignore unknown fields still parse
+// the scaling runs.
 type jsonDoc struct {
 	SchemaVersion int       `json:"schema_version"`
 	Generated     time.Time `json:"generated"`
@@ -35,16 +56,18 @@ type jsonDoc struct {
 		Beta     float64 `json:"beta_bytes_per_s"`
 		Overhead float64 `json:"overhead_s"`
 	} `json:"cost_model"`
-	Runs []jsonRun `json:"runs"`
+	Runs       []jsonRun       `json:"runs"`
+	UpdateRuns []jsonUpdateRun `json:"update_runs,omitempty"`
 }
 
-// WriteScalingJSON emits the scaling-sweep measurements as a machine-
-// readable JSON document: one record per (dataset, ranks) point with the
+// WriteBenchJSON emits the benchmark measurements as a machine-readable
+// JSON document: one record per (dataset, ranks) scaling point with the
 // triangle count, parallel phase times, communication fractions, operation
-// counters and real wall time.
-func WriteScalingJSON(w io.Writer, rows []ScalingRow, cfg Config) error {
+// counters and real wall time, plus one record per dynamic-update
+// scenario point.
+func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, cfg Config) error {
 	var doc jsonDoc
-	doc.SchemaVersion = 1
+	doc.SchemaVersion = 2
 	doc.Generated = time.Now().UTC()
 	m := cfg.model()
 	doc.CostModel.Alpha = m.Alpha
@@ -67,6 +90,23 @@ func WriteScalingJSON(w io.Writer, rows []ScalingRow, cfg Config) error {
 			Probes:        r.Probes,
 			MapTasks:      r.MapTasks,
 			SpeedupAll:    r.SpeedAll,
+			WallSec:       r.WallSec,
+		})
+	}
+	for _, r := range upd {
+		doc.UpdateRuns = append(doc.UpdateRuns, jsonUpdateRun{
+			Dataset:       r.Dataset,
+			Ranks:         r.Ranks,
+			BatchSize:     r.BatchSize,
+			Batches:       r.Batches,
+			N:             r.N,
+			M:             r.M,
+			Triangles:     r.Triangles,
+			ApplySec:      r.ApplySec,
+			UpdatesPerSec: r.UpdatesPerSec,
+			QuerySec:      r.QuerySec,
+			PrepSec:       r.PrepSec,
+			DeltaSpeedup:  r.DeltaSpeedup,
 			WallSec:       r.WallSec,
 		})
 	}

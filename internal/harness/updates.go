@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"tc2d/internal/core"
+	"tc2d/internal/delta"
+	"tc2d/internal/dgraph"
+	"tc2d/internal/graph"
+	"tc2d/internal/mpi"
+)
+
+// UpdateRow is one measured point of the mixed read/write scenario: a
+// resident cluster absorbing a stream of edge-update batches interleaved
+// with full counting queries. ApplySec/QuerySec are modeled parallel
+// (virtual) times; PrepSec is the one-time build — the price a full
+// rebuild would pay per batch if the system could not apply deltas.
+type UpdateRow struct {
+	Dataset       string
+	Ranks         int
+	BatchSize     int
+	Batches       int
+	N, M          int64
+	Triangles     int64   // maintained count after the stream
+	ApplySec      float64 // mean virtual seconds per applied batch
+	UpdatesPerSec float64 // batch edges per virtual second of apply time
+	QuerySec      float64 // mean virtual seconds per interleaved full count
+	PrepSec       float64 // one-time build (≈ rebuild) virtual seconds
+	DeltaSpeedup  float64 // PrepSec / ApplySec: delta apply vs rebuild-per-batch
+	WallSec       float64 // real seconds for the whole stream
+}
+
+// RunUpdates measures the dynamic-update path for every (dataset, ranks)
+// point: build the resident state once, stream `batches` batches of
+// `batch` mixed updates (3:1 inserts to deletes, deletes drawn from the
+// live edge set), run one full count query after every batch, and record
+// apply and query costs against the build cost. Square rank counts use the
+// Cannon schedule, others SUMMA — the same dispatch the public Cluster
+// performs.
+func RunUpdates(specs []Spec, ranks []int, batch, batches int, cfg Config) ([]UpdateRow, error) {
+	var rows []UpdateRow
+	for _, spec := range specs {
+		g, err := spec.Params.Generate(spec.Scale, spec.EdgeFactor, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("harness: generate %s: %w", spec.Name, err)
+		}
+		for _, p := range ranks {
+			row, err := runUpdatesOnce(spec, g, p, batch, batches, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func runUpdatesOnce(spec Spec, g *graph.Graph, p, batch, batches int, cfg Config) (*UpdateRow, error) {
+	t0 := time.Now()
+	w := mpi.NewWorld(p, cfg.mpiConfig())
+	defer w.Close()
+	summa := mpi.SquareSide(p) < 0
+	preps := make([]*core.Prepared, p)
+	fail := func(err error) error {
+		return fmt.Errorf("harness: updates %s on %d ranks: %w", spec.Name, p, err)
+	}
+	_, err := w.Run(func(c *mpi.Comm) (any, error) {
+		var gin *graph.Graph
+		if c.Rank() == 0 {
+			gin = g
+		}
+		d, err := dgraph.ScatterGraph(c, 0, gin)
+		if err != nil {
+			return nil, err
+		}
+		var pr *core.Prepared
+		if summa {
+			pr, err = core.PrepareSUMMA(c, d, cfg.Options)
+		} else {
+			pr, err = core.Prepare(c, d, cfg.Options)
+		}
+		preps[c.Rank()] = pr
+		return nil, err
+	})
+	if err != nil {
+		return nil, fail(err)
+	}
+	count := func() (*core.Result, error) {
+		results, err := w.Run(func(c *mpi.Comm) (any, error) {
+			return core.CountPrepared(c, preps[c.Rank()], cfg.Options)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return results[0].(*core.Result), nil
+	}
+	base, err := count()
+	if err != nil {
+		return nil, fail(err)
+	}
+	triangles := base.Triangles
+
+	// Live edge set for delete sampling and insert dedup.
+	rng := rand.New(rand.NewSource(int64(spec.Seed)*1009 + int64(p)))
+	type ekey = [2]int32
+	present := map[ekey]bool{}
+	var edges []ekey
+	for v := int32(0); v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				k := ekey{v, u}
+				present[k] = true
+				edges = append(edges, k)
+			}
+		}
+	}
+
+	var applySec, querySec float64
+	var lastM int64
+	for b := 0; b < batches; b++ {
+		upd := make([]delta.Update, 0, batch)
+		dels := batch / 4
+		deleted := map[ekey]bool{} // a delete+insert of one edge in one batch is rejected
+		for d := 0; d < dels && len(edges) > 0; d++ {
+			i := rng.Intn(len(edges))
+			k := edges[i]
+			edges[i] = edges[len(edges)-1]
+			edges = edges[:len(edges)-1]
+			delete(present, k)
+			deleted[k] = true
+			upd = append(upd, delta.Update{U: k[0], V: k[1], Op: delta.OpDelete})
+		}
+		for len(upd) < batch {
+			u, v := int32(rng.Intn(int(g.N))), int32(rng.Intn(int(g.N)))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			k := ekey{u, v}
+			if present[k] || deleted[k] {
+				continue
+			}
+			present[k] = true
+			edges = append(edges, k)
+			upd = append(upd, delta.Update{U: u, V: v, Op: delta.OpInsert})
+		}
+		canon, _, err := delta.Canonicalize(upd, int64(g.N))
+		if err != nil {
+			return nil, fail(err)
+		}
+		var res *delta.Result
+		_, err = w.Run(func(c *mpi.Comm) (any, error) {
+			r, err := delta.Apply(c, preps[c.Rank()], canon)
+			if err == nil && c.Rank() == 0 {
+				res = r
+			}
+			return nil, err
+		})
+		if err != nil {
+			return nil, fail(fmt.Errorf("batch %d: %w", b, err))
+		}
+		triangles += res.DeltaTriangles
+		lastM = res.M
+		applySec += res.ApplyTime
+		qres, err := count()
+		if err != nil {
+			return nil, fail(err)
+		}
+		querySec += qres.CountTime
+		if qres.Triangles != triangles {
+			return nil, fail(fmt.Errorf("batch %d: recount %d != maintained %d", b, qres.Triangles, triangles))
+		}
+	}
+
+	row := &UpdateRow{
+		Dataset: spec.Name, Ranks: p, BatchSize: batch, Batches: batches,
+		N: preps[0].N(), M: lastM, Triangles: triangles,
+		ApplySec: applySec / float64(batches),
+		QuerySec: querySec / float64(batches),
+		PrepSec:  preps[0].PreprocessTime(),
+		WallSec:  time.Since(t0).Seconds(),
+	}
+	if row.ApplySec > 0 {
+		row.UpdatesPerSec = float64(batch) / row.ApplySec
+		row.DeltaSpeedup = row.PrepSec / row.ApplySec
+	}
+	return row, nil
+}
+
+// TableUpdates prints the mixed read/write scenario: per-batch delta apply
+// cost and throughput against the full-rebuild alternative.
+func TableUpdates(w io.Writer, rows []UpdateRow) error {
+	fprintf(w, "Update throughput — %d-edge batches, delta apply vs rebuild (virtual times)\n", batchOf(rows))
+	fprintf(w, "%-22s %6s %10s %12s %10s %10s %10s %10s\n",
+		"dataset", "ranks", "apply(s)", "updates/s", "query(s)", "build(s)", "Δspeedup", "tri")
+	for _, r := range rows {
+		fprintf(w, "%-22s %6d %10s %12.0f %10s %10s %9.1fx %10d\n",
+			r.Dataset, r.Ranks, fmtSecs(r.ApplySec), r.UpdatesPerSec,
+			fmtSecs(r.QuerySec), fmtSecs(r.PrepSec), r.DeltaSpeedup, r.Triangles)
+	}
+	return nil
+}
+
+func batchOf(rows []UpdateRow) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return rows[0].BatchSize
+}

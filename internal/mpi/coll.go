@@ -12,6 +12,7 @@ const (
 	tagAlltoallv
 	tagScan
 	tagAllgatherv
+	tagSparse
 )
 
 // Op identifies a reduction operator.
@@ -297,6 +298,63 @@ func (c *Comm) AlltoallvInt32(send [][]int32) [][]int32 {
 	out := make([][]int32, p)
 	for s := range got {
 		out[s] = BytesToInt32s(got[s])
+	}
+	return out
+}
+
+// AlltoallvSparse is a personalized all-to-all for sparse communication
+// patterns: semantically identical to Alltoallv, but only non-empty payloads
+// travel the wire. The exchange runs in two phases. First the p×p send-count
+// matrix is allreduced along the log-depth reduction tree (each rank
+// contributes its own row), which tells every rank exactly which sources
+// will address it. Then payloads move point-to-point, skipping empty
+// (src, dst) pairs entirely. When a batch of updates touches only k « p²
+// block pairs — the routing pattern of the dynamic-update subsystem — this
+// replaces p per-rank messages with k total, at the cost of one small
+// allreduce. nil entries in the result mark sources that sent nothing.
+// Ownership of the send payloads transfers to the runtime.
+func (c *Comm) AlltoallvSparse(send [][]byte) [][]byte {
+	p := c.world.size
+	if len(send) != p {
+		panic(fmt.Sprintf("mpi: AlltoallvSparse needs %d send buffers, got %d", p, len(send)))
+	}
+	counts := make([]int64, p*p)
+	for d, buf := range send {
+		counts[c.rank*p+d] = int64(len(buf))
+	}
+	counts = c.AllreduceInt64s(counts, OpSum)
+
+	recv := make([][]byte, p)
+	recv[c.rank] = send[c.rank]
+	// Same staggered pairing as Alltoallv so no receiver becomes a hot spot.
+	for r := 1; r < p; r++ {
+		dst := (c.rank + r) % p
+		if len(send[dst]) > 0 {
+			c.SendOwn(dst, tagSparse, send[dst])
+		}
+	}
+	for r := 1; r < p; r++ {
+		src := (c.rank - r + p) % p
+		if counts[src*p+c.rank] > 0 {
+			recv[src] = c.Recv(src, tagSparse)
+		}
+	}
+	return recv
+}
+
+// AlltoallvSparseInt32 is AlltoallvSparse over int32 payloads.
+func (c *Comm) AlltoallvSparseInt32(send [][]int32) [][]int32 {
+	p := c.world.size
+	bufs := make([][]byte, p)
+	for d := range send {
+		bufs[d] = Int32sToBytes(send[d])
+	}
+	got := c.AlltoallvSparse(bufs)
+	out := make([][]int32, p)
+	for s := range got {
+		if got[s] != nil {
+			out[s] = BytesToInt32s(got[s])
+		}
 	}
 	return out
 }

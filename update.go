@@ -1,0 +1,126 @@
+package tc2d
+
+import (
+	"fmt"
+
+	"tc2d/internal/core"
+	"tc2d/internal/delta"
+	"tc2d/internal/mpi"
+)
+
+// UpdateOp selects the kind of one edge update.
+type UpdateOp = delta.Op
+
+// Edge update operations.
+const (
+	UpdateInsert = delta.OpInsert
+	UpdateDelete = delta.OpDelete
+)
+
+// EdgeUpdate is one undirected edge mutation in original vertex ids: an
+// insertion of a new edge or a deletion of an existing one.
+type EdgeUpdate = delta.Update
+
+// UpdateResult reports one applied batch: the effective insert/delete
+// counts (redundant entries become Skipped* no-ops), the exact triangle
+// delta and maintained running total, the new edge and wedge totals, and
+// the epoch's cost accounting. PreOps is 0 for a pure delta apply; it is
+// nonzero only when the batch pushed the cluster over its staleness
+// threshold and a rebuild ran (Rebuilt is then set).
+type UpdateResult = delta.Result
+
+// ApplyUpdates applies a batch of edge insertions and deletions to the
+// resident graph and maintains the triangle, edge and wedge counts exactly
+// — no preprocessing work is repeated. The batch is validated first: self
+// loops and exact duplicates are tolerated (dropped or collapsed), but a
+// batch that both inserts and deletes the same edge is rejected.
+// Insertions of edges already present and deletions of absent edges are
+// counted as skips, so at-least-once delivery of an update stream is safe.
+//
+// Only triangles incident to batch edges are (re)counted: each is
+// discovered once per batch edge it contains and weighted by that
+// multiplicity, so inserts add and deletes subtract exactly — the running
+// count always equals what a from-scratch count of the mutated graph
+// would return. When the cumulative number of applied updates exceeds
+// Options.RebuildFraction of the edge count at the last build, the degree
+// ordering is considered stale and the blocks are rebuilt inside the same
+// world (see Rebuild); the result's Rebuilt flag reports this.
+//
+// Safe for concurrent use; updates and queries serialize into successive
+// epochs on the standing world.
+func (cl *Cluster) ApplyUpdates(batch []EdgeUpdate) (*UpdateResult, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return nil, ErrClusterClosed
+	}
+	// Delta maintenance needs an exact base count.
+	if cl.lastTri < 0 {
+		if _, err := cl.countLocked(QueryOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	canon, loops, err := delta.Canonicalize(batch, cl.prep[0].N())
+	if err != nil {
+		return nil, err
+	}
+	results, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
+		return delta.Apply(c, cl.prep[c.Rank()], canon)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := results[0].(*delta.Result)
+	res.SkippedLoops = loops
+	cl.lastTri += res.DeltaTriangles
+	res.Triangles = cl.lastTri
+	cl.updates++
+	cl.appliedEdges += int64(res.Inserted + res.Deleted)
+	if cl.rebuildFraction > 0 && float64(cl.appliedEdges) > cl.rebuildFraction*float64(cl.baseM) {
+		if err := cl.rebuildLocked(); err != nil {
+			// The batch itself committed (counts are exact and maintained);
+			// only the layout refresh failed. Return the result so the
+			// caller can see the applied mutations alongside the error.
+			return res, fmt.Errorf("tc2d: updates applied, but staleness rebuild failed: %w", err)
+		}
+		res.Rebuilt = true
+		res.PreOps = cl.prep[0].PreOps()
+	}
+	return res, nil
+}
+
+// Rebuild re-runs the preprocessing pipeline over the current resident
+// graph inside the same world and epoch machinery: fresh degree ordering,
+// fresh 2D blocks, same grid schedule and transport, and an update-routing
+// map composed back into original-vertex space. Counts are unchanged —
+// only the layout is refreshed. ApplyUpdates triggers this automatically
+// once applied updates exceed Options.RebuildFraction of the edge count;
+// Rebuild forces it.
+func (cl *Cluster) Rebuild() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return ErrClusterClosed
+	}
+	return cl.rebuildLocked()
+}
+
+func (cl *Cluster) rebuildLocked() error {
+	newPrep := make([]*core.Prepared, cl.ranks)
+	_, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
+		np, err := delta.Rebuild(c, cl.prep[c.Rank()])
+		if err != nil {
+			return nil, err
+		}
+		newPrep[c.Rank()] = np
+		return nil, nil
+	})
+	if err != nil {
+		return err
+	}
+	cl.prep = newPrep
+	cl.appliedEdges = 0
+	cl.baseM = newPrep[0].M()
+	cl.rebuilds++
+	return nil
+}
