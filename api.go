@@ -24,6 +24,7 @@ package tc2d
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 
 	"tc2d/internal/core"
@@ -111,11 +112,17 @@ type Options struct {
 
 	// RebuildFraction controls write-path staleness for resident clusters:
 	// once the effective updates applied since the last build exceed this
-	// fraction of the then-current edge count, ApplyUpdates rebuilds the
-	// blocks (fresh degree ordering) inside the same world. 0 means the
-	// default of 0.25; negative disables automatic rebuilds. Ignored by
-	// one-shot counts.
+	// fraction of the edge count at that build, the write scheduler
+	// rebuilds the blocks (fresh degree ordering) inside the same world —
+	// at most once per write-queue drain. Valid values lie in [0, 1),
+	// where 0 selects the default of 0.25; NewCluster rejects NaN,
+	// negative and ≥ 1 values with an error. Set DisableAutoRebuild to
+	// turn staleness rebuilds off entirely. Ignored by one-shot counts.
 	RebuildFraction float64
+	// DisableAutoRebuild turns off staleness-driven rebuilds: updates
+	// splice into the resident blocks indefinitely and only an explicit
+	// Cluster.Rebuild call refreshes the degree ordering.
+	DisableAutoRebuild bool
 
 	// ForceSUMMA schedules the computation with SUMMA broadcasts even for
 	// square rank counts. Non-square rank counts always use SUMMA (the
@@ -171,6 +178,21 @@ func (o Options) ranks() (int, error) {
 		return 0, fmt.Errorf("tc2d: Ranks=%d", p)
 	}
 	return p, nil
+}
+
+// rebuildFraction validates and resolves the staleness threshold.
+func (o Options) rebuildFraction() (float64, error) {
+	f := o.RebuildFraction
+	if math.IsNaN(f) {
+		return 0, fmt.Errorf("tc2d: RebuildFraction is NaN")
+	}
+	if f < 0 || f >= 1 {
+		return 0, fmt.Errorf("tc2d: RebuildFraction=%v out of range [0, 1) — use DisableAutoRebuild to turn staleness rebuilds off", f)
+	}
+	if f == 0 {
+		return 0.25, nil
+	}
+	return f, nil
 }
 
 // useSUMMA reports whether the run needs the SUMMA schedule.

@@ -2,12 +2,13 @@
 // wraps the corresponding harness driver at a reduced scale so that
 // `go test -bench=.` completes in minutes; `cmd/tcbench` runs the full-scale
 // versions and prints the paper-shaped tables.
-package tc2d
+package tc2d_test
 
 import (
 	"io"
 	"testing"
 
+	"tc2d"
 	"tc2d/internal/harness"
 	"tc2d/internal/mpi"
 )
@@ -148,7 +149,7 @@ func BenchmarkUpdates(b *testing.B) {
 // in-memory graph across grid sizes (not tied to a paper exhibit; useful for
 // regression tracking).
 func BenchmarkCoreKernel(b *testing.B) {
-	g, err := GenerateRMAT(G500, 12, 16, 3)
+	g, err := tc2d.GenerateRMAT(tc2d.G500, 12, 16, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func BenchmarkCoreKernel(b *testing.B) {
 		b.Run(rankLabel(p), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := Count(g, Options{Ranks: p, ComputeSlots: 2})
+				res, err := tc2d.Count(g, tc2d.Options{Ranks: p, ComputeSlots: 2})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -182,13 +183,13 @@ func rankLabel(p int) string {
 // BenchmarkSequentialReference measures the sequential oracle for the same
 // graph, giving the t1 baseline for by-hand speedup computations.
 func BenchmarkSequentialReference(b *testing.B) {
-	g, err := GenerateRMAT(G500, 12, 16, 3)
+	g, err := tc2d.GenerateRMAT(tc2d.G500, 12, 16, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if CountSequential(g) == 0 {
+		if tc2d.CountSequential(g) == 0 {
 			b.Fatal("no triangles")
 		}
 	}

@@ -3,14 +3,18 @@ package tc2d
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"tc2d/internal/core"
 	"tc2d/internal/dgraph"
 	"tc2d/internal/mpi"
 )
 
-// ErrClusterClosed is returned by operations on a closed Cluster.
-var ErrClusterClosed = errors.New("tc2d: cluster is closed")
+// ErrClosed is the sentinel returned by operations on a closed Cluster.
+var ErrClosed = errors.New("tc2d: cluster is closed")
+
+// ErrClusterClosed is the historical name of ErrClosed; both compare equal.
+var ErrClusterClosed = ErrClosed
 
 // QueryOptions configures one query against a resident Cluster. Only the
 // knobs that affect the counting phase appear here; everything that shapes
@@ -55,6 +59,19 @@ type ClusterInfo struct {
 	Queries  int64
 	Updates  int64
 	Rebuilds int64
+	// Scheduler accounting. ReadEpochs counts the counting epochs run to
+	// serve queries (internal epochs, like the write path's base count,
+	// are excluded): concurrent identical queries share one epoch's
+	// result, so Queries / ReadEpochs is the read-coalescing factor,
+	// always ≥ 1 once a query has completed. WriteEpochs
+	// counts write epochs; CoalescedBatches the caller batches they
+	// absorbed, so CoalescedBatches / WriteEpochs is the write-coalescing
+	// factor. QueueDepth is the number of ApplyUpdates callers currently
+	// enqueued or in flight.
+	ReadEpochs       int64
+	WriteEpochs      int64
+	CoalescedBatches int64
+	QueueDepth       int64
 	// PreOps and PreprocessTime describe the one-time preprocessing that
 	// built the resident state; CommFracPre its communication fraction.
 	PreOps         int64
@@ -65,30 +82,44 @@ type ClusterInfo struct {
 // Cluster is a resident distributed graph: the preprocessing pipeline
 // (cyclic redistribution, degree relabeling, 2D block construction) runs
 // exactly once at construction, and the resulting per-rank blocks then serve
-// any number of counting queries. The SPMD world — including its rank
-// goroutines and, for TransportTCP, its sockets — stays up between queries;
-// each query is one epoch on that world.
+// any number of counting queries and update batches. The SPMD world —
+// including its transport and, for TransportTCP, its sockets — stays
+// up between requests.
 //
-// Methods are safe for concurrent use: queries from concurrent callers are
-// serialized into successive epochs. Close releases the world and is
-// idempotent.
+// All methods are safe for concurrent use, under a reader/writer epoch
+// scheduler (see scheduler.go): Count and Transitivity admit concurrently
+// (identical concurrent queries share one epoch's result), while
+// ApplyUpdates calls enqueue into a write queue whose drains coalesce all
+// pending batches into one exclusive write epoch. Close drains the write
+// queue, waits out in-flight queries, and is idempotent; late callers get
+// ErrClosed.
 type Cluster struct {
-	mu        sync.Mutex
 	world     *mpi.World
-	prep      []*core.Prepared // per-rank resident state, indexed by rank
 	enum      Enumeration
 	ranks     int
 	transport Transport
-	queries   int64
-	lastTri   int64 // maintained triangle count, -1 until first query
-	closed    bool
 
-	// Write-path state (see ApplyUpdates/Rebuild in update.go).
+	// sched admits reads concurrently and writes exclusively; prep is
+	// replaced wholesale by rebuilds under sched.gate held exclusively and
+	// read under it held shared.
+	sched *scheduler
+	prep  []*core.Prepared // per-rank resident state, indexed by rank
+
+	queries    atomic.Int64
+	readEpochs atomic.Int64
+	updates    atomic.Int64
+	rebuilds   atomic.Int64
+	lastTri    atomic.Int64 // maintained triangle count, -1 until first query
+	closed     atomic.Bool
+	closeOnce  sync.Once
+	closeErr   error
+
+	// Write-path staleness state, touched only with sched.gate held
+	// exclusively. rebuildFraction and autoRebuild are immutable.
 	rebuildFraction float64
+	autoRebuild     bool
 	baseM           int64 // edge count at the last build, staleness denominator
 	appliedEdges    int64 // effective updates applied since the last build
-	updates         int64 // batches applied over the cluster's lifetime
-	rebuilds        int64
 }
 
 // NewCluster builds a resident cluster over g: the graph is scattered to
@@ -110,6 +141,10 @@ func NewClusterRMAT(params RMATParams, scale, edgeFactor int, seed uint64, opt O
 
 func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 	p, err := opt.ranks()
+	if err != nil {
+		return nil, err
+	}
+	frac, err := opt.rebuildFraction()
 	if err != nil {
 		return nil, err
 	}
@@ -141,47 +176,98 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 		world.Close()
 		return nil, err
 	}
-	frac := opt.RebuildFraction
-	if frac == 0 {
-		frac = 0.25
-	}
-	return &Cluster{
+	cl := &Cluster{
 		world:           world,
 		prep:            prep,
 		enum:            opt.Enumeration,
 		ranks:           p,
 		transport:       opt.Transport,
-		lastTri:         -1,
+		sched:           newScheduler(),
 		rebuildFraction: frac,
+		autoRebuild:     !opt.DisableAutoRebuild,
 		baseM:           prep[0].M(),
-	}, nil
+	}
+	cl.lastTri.Store(-1)
+	go cl.writeLoop()
+	return cl, nil
 }
 
 // Count answers one triangle counting query against the resident blocks. No
 // preprocessing work is repeated: the returned Result has PreOps == 0 and
-// PreprocessTime == 0, and TotalTime is the counting phase alone. Safe for
-// concurrent callers (queries serialize into successive epochs).
+// PreprocessTime == 0, and TotalTime is the counting phase alone.
+//
+// Count admits concurrently: queries never wait on each other (they run as
+// overlapping read epochs), only on write epochs. Concurrent queries with
+// identical QueryOptions share a single epoch's result — safe because the
+// scheduler guarantees the resident state cannot change while any of the
+// sharing callers is admitted.
 func (cl *Cluster) Count(q QueryOptions) (*Result, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	return cl.countLocked(q)
+	cl.sched.gate.RLock()
+	defer cl.sched.gate.RUnlock()
+	if cl.closed.Load() {
+		return nil, ErrClosed
+	}
+	res, err := cl.countShared(q)
+	if err != nil {
+		return nil, err
+	}
+	cl.queries.Add(1)
+	return res, nil
 }
 
-func (cl *Cluster) countLocked(q QueryOptions) (*Result, error) {
-	if cl.closed {
-		return nil, ErrClusterClosed
+// countShared serves one query, joining an in-flight identical query's
+// epoch when one exists. The caller holds sched.gate (shared or exclusive)
+// and counts the query itself.
+func (cl *Cluster) countShared(q QueryOptions) (*Result, error) {
+	s := cl.sched
+	s.rmu.Lock()
+	if f, ok := s.flights[q]; ok {
+		s.rmu.Unlock()
+		<-f.done
+		return resultCopy(f.res), f.err
 	}
+	f := &readFlight{done: make(chan struct{})}
+	s.flights[q] = f
+	s.rmu.Unlock()
+
+	f.res, f.err = cl.countEpoch(q)
+	if f.err == nil {
+		cl.readEpochs.Add(1)
+	}
+	s.rmu.Lock()
+	delete(s.flights, q)
+	s.rmu.Unlock()
+	close(f.done)
+	return resultCopy(f.res), f.err
+}
+
+// countEpoch runs one counting epoch as a read epoch on the world. The
+// caller holds sched.gate.
+func (cl *Cluster) countEpoch(q QueryOptions) (*Result, error) {
 	copt := q.coreOptions(cl.enum)
-	results, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
-		return core.CountPrepared(c, cl.prep[c.Rank()], copt)
+	prep := cl.prep
+	results, err := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
+		return core.CountPrepared(c, prep[c.Rank()], copt)
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := results[0].(*core.Result)
-	cl.queries++
-	cl.lastTri = res.Triangles
+	cl.lastTri.Store(res.Triangles)
 	return res, nil
+}
+
+// resultCopy gives each caller of a shared flight its own Result value,
+// including the per-shift slice — callers may mutate what they get back.
+func resultCopy(res *Result) *Result {
+	if res == nil {
+		return nil
+	}
+	cp := *res
+	if res.LocalPerShift != nil {
+		cp.LocalPerShift = append([]float64(nil), res.LocalPerShift...)
+	}
+	return &cp
 }
 
 // Transitivity returns the global clustering coefficient
@@ -189,54 +275,67 @@ func (cl *Cluster) countLocked(q QueryOptions) (*Result, error) {
 // across updates: the wedge count is maintained incrementally by
 // ApplyUpdates and the triangle count is the delta-maintained running
 // total (one default query runs first if none has completed yet), so no
-// stale cache can leak into the ratio.
+// stale cache can leak into the ratio. Admits concurrently, like Count.
 func (cl *Cluster) Transitivity() (float64, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if cl.closed {
-		return 0, ErrClusterClosed
+	cl.sched.gate.RLock()
+	defer cl.sched.gate.RUnlock()
+	if cl.closed.Load() {
+		return 0, ErrClosed
 	}
-	if cl.lastTri < 0 {
-		if _, err := cl.countLocked(QueryOptions{}); err != nil {
+	if cl.lastTri.Load() < 0 {
+		if _, err := cl.countShared(QueryOptions{}); err != nil {
 			return 0, err
 		}
+		cl.queries.Add(1)
 	}
 	w := cl.prep[0].Wedges()
 	if w == 0 {
 		return 0, nil
 	}
-	return 3 * float64(cl.lastTri) / float64(w), nil
+	return 3 * float64(cl.lastTri.Load()) / float64(w), nil
 }
 
 // Info returns a snapshot of the resident cluster.
 func (cl *Cluster) Info() ClusterInfo {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
+	cl.sched.gate.RLock()
+	defer cl.sched.gate.RUnlock()
 	p0 := cl.prep[0]
 	return ClusterInfo{
-		N:              p0.N(),
-		M:              p0.M(),
-		Wedges:         p0.Wedges(),
-		Ranks:          cl.ranks,
-		Transport:      cl.transport,
-		Queries:        cl.queries,
-		Updates:        cl.updates,
-		Rebuilds:       cl.rebuilds,
-		PreOps:         p0.PreOps(),
-		PreprocessTime: p0.PreprocessTime(),
-		CommFracPre:    p0.CommFracPre(),
+		N:                p0.N(),
+		M:                p0.M(),
+		Wedges:           p0.Wedges(),
+		Ranks:            cl.ranks,
+		Transport:        cl.transport,
+		Queries:          cl.queries.Load(),
+		Updates:          cl.updates.Load(),
+		Rebuilds:         cl.rebuilds.Load(),
+		ReadEpochs:       cl.readEpochs.Load(),
+		WriteEpochs:      cl.sched.writeEpochs.Load(),
+		CoalescedBatches: cl.sched.absorbed.Load(),
+		QueueDepth:       cl.sched.depth.Load(),
+		PreOps:           p0.PreOps(),
+		PreprocessTime:   p0.PreprocessTime(),
+		CommFracPre:      p0.CommFracPre(),
 	}
 }
 
-// Close releases the cluster's world (rank goroutines and, for TCP, the
-// sockets). Close is idempotent; queries after Close return
-// ErrClusterClosed.
+// Close releases the cluster: the write queue is drained first (every
+// ApplyUpdates accepted before Close began still commits), in-flight
+// queries finish, then the world (and, for TCP, the sockets) comes
+// down. Close is idempotent; operations after Close return
+// ErrClosed.
 func (cl *Cluster) Close() error {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if cl.closed {
-		return nil
-	}
-	cl.closed = true
-	return cl.world.Close()
+	cl.closeOnce.Do(func() {
+		s := cl.sched
+		s.mu.Lock()
+		s.closing = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		<-s.drainedCh
+		s.gate.Lock()
+		cl.closed.Store(true)
+		cl.closeErr = cl.world.Close()
+		s.gate.Unlock()
+	})
+	return cl.closeErr
 }

@@ -115,7 +115,7 @@ func runDifferential(t *testing.T, opt Options, scale, batches int, seed int64) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt.RebuildFraction = -1 // pure delta applies only; rebuilds tested separately
+	opt.DisableAutoRebuild = true // pure delta applies only; rebuilds tested separately
 	cl, err := NewCluster(g, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -294,7 +294,7 @@ func TestClusterUpdatesConcurrentWithQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := NewCluster(g, Options{Ranks: 4, RebuildFraction: -1})
+	cl, err := NewCluster(g, Options{Ranks: 4, DisableAutoRebuild: true})
 	if err != nil {
 		t.Fatal(err)
 	}

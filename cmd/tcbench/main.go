@@ -7,12 +7,17 @@
 //	tcbench -exp table5 -ranks 16,25,36
 //
 // Experiments: table1 table2 fig1 fig2 fig3 table3 table4 table5 table6
-// ablation probes updates. -delta shifts every dataset scale (negative =
-// smaller/faster). "updates" is the mixed read/write scenario: a resident
-// cluster absorbs batches of edge updates (delta counting, no rebuild)
-// interleaved with full count queries, reporting update throughput against
-// the full-rebuild alternative; it always runs when -json is given and its
-// rows land in the update_runs section (schema v2).
+// ablation probes updates concurrent. -delta shifts every dataset scale
+// (negative = smaller/faster). "updates" is the mixed read/write scenario:
+// a resident cluster absorbs batches of edge updates (delta counting, no
+// rebuild) interleaved with full count queries, reporting update
+// throughput against the full-rebuild alternative. "concurrent" is the
+// epoch-scheduler scenario: R reader goroutines issue counting queries
+// against one resident cluster while W writers stream update batches,
+// reporting wall-clock read QPS per reader count, write-batch latency and
+// the read/write coalescing factors. Both always run when -json is given;
+// their rows land in the update_runs and concurrent_runs sections
+// (schema v3).
 // Modeled parallel times come from the runtime's LogGP-style virtual clocks;
 // see DESIGN.md for the calibration discussion.
 package main
@@ -43,6 +48,12 @@ func main() {
 		uRanks = flag.String("update-ranks", "4,9,16", "rank counts for the updates scenario")
 		uBatch = flag.Int("update-batch", 512, "edge updates per batch in the updates scenario")
 		uCount = flag.Int("update-batches", 8, "batches per point in the updates scenario")
+
+		cRanks   = flag.Int("conc-ranks", 4, "rank count for the concurrent scenario")
+		cReaders = flag.String("conc-readers", "1,2,4", "reader-goroutine schedule for the concurrent scenario")
+		cWriters = flag.Int("conc-writers", 2, "writer goroutines in the concurrent scenario")
+		cBatch   = flag.Int("conc-batch", 128, "edge updates per batch in the concurrent scenario")
+		cQueries = flag.Int("conc-queries", 30, "queries per reader in the concurrent scenario")
 	)
 	flag.Parse()
 
@@ -107,13 +118,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The concurrent scenario feeds the "concurrent" table and the -json
+	// record. It measures one dataset (the first spec) at a fixed rank
+	// count across a schedule of reader counts.
+	var concRows []harness.ConcurrentRow
+	if sel("concurrent") || *jsonTo != "" {
+		var err error
+		if *detail {
+			fmt.Fprintf(os.Stderr, "tcbench: running concurrent scenario (ranks %d, readers %s, %d writers)...\n",
+				*cRanks, *cReaders, *cWriters)
+		}
+		concRows, err = harness.RunConcurrent(specs[0], *cRanks, *cWriters, *cBatch, *cQueries, parseInts(*cReaders))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: concurrent scenario: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonTo != "" {
 		f, err := os.Create(*jsonTo)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := harness.WriteBenchJSON(f, rows, updRows, cfg); err != nil {
+		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: write json: %v\n", err)
 			os.Exit(1)
 		}
@@ -122,10 +149,12 @@ func main() {
 			os.Exit(1)
 		}
 		if *detail {
-			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update runs to %s\n", len(rows), len(updRows), *jsonTo)
+			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update + %d concurrent runs to %s\n",
+				len(rows), len(updRows), len(concRows), *jsonTo)
 		}
 	}
 	step("updates", func() error { return harness.TableUpdates(w, updRows) })
+	step("concurrent", func() error { return harness.TableConcurrent(w, concRows) })
 	step("table2", func() error { return harness.Table2(w, rows) })
 	step("fig1", func() error { return harness.Figure1(w, rows) })
 	step("fig2", func() error { return harness.Figure2(w, rows, specs[1].Name) })

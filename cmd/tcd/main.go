@@ -6,11 +6,19 @@
 // execution model: every request is one SPMD epoch on the standing world,
 // with zero per-request preprocessing.
 //
+// Requests are scheduled by the cluster's epoch scheduler: counting
+// queries admit concurrently (and concurrent identical queries share one
+// epoch), update batches coalesce into exclusive write epochs. Handlers
+// hold no server-side mutex; -max-concurrent-queries optionally bounds
+// admitted read queries and /stats reports queue depths and coalescing
+// factors.
+//
 // Usage:
 //
 //	tcd -rmat 14 -ranks 9                       # RMAT graph, 9-rank cluster
 //	tcd -graph edges.txt -ranks 4 -addr :7171   # edge-list file
 //	tcd -rmat 13 -preset twitter -tcp           # loopback-TCP transport
+//	tcd -rmat 12 -max-concurrent-queries 32     # bound admitted reads
 //
 // Endpoints:
 //
@@ -55,6 +63,7 @@ func main() {
 		tcp    = flag.Bool("tcp", false, "use the loopback TCP transport between ranks")
 		slots  = flag.Int("slots", 0, "compute slots (0 = GOMAXPROCS, fastest wall time)")
 		drain  = flag.Duration("drain", time.Second, "grace period after /healthz flips to 503 before the listener closes")
+		maxQ   = flag.Int("max-concurrent-queries", 0, "cap on concurrently admitted read queries (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -73,7 +82,7 @@ func main() {
 	log.Printf("tcd: resident cluster up in %v: %s, n=%d m=%d, %d ranks (%v transport)",
 		time.Since(start).Round(time.Millisecond), desc, info.N, info.M, info.Ranks, info.Transport)
 
-	s := newServer(cluster, desc, start)
+	s := newServer(cluster, desc, start, *maxQ)
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 	go func() {
 		log.Printf("tcd: serving on %s", *addr)
@@ -85,10 +94,15 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	// Graceful drain: healthz flips to 503 first and stays probeable for
-	// the grace period (load balancers stop routing here), then Shutdown
-	// waits for in-flight queries/updates, then the cluster's world and
-	// sockets come down.
+	// Graceful drain, strictly ordered so no accepted work is dropped:
+	// (1) healthz flips to 503 and POST /update starts answering 503 +
+	// Retry-After (load balancers stop routing, writers back off), staying
+	// probeable for the grace period; (2) Shutdown waits out in-flight
+	// handlers — including ApplyUpdates callers already enqueued on the
+	// cluster's write queue, which block until their write epoch commits —
+	// so every update accepted before the signal lands; (3) only then does
+	// Cluster.Close run, which itself drains anything still queued before
+	// the world and sockets come down.
 	s.draining.Store(true)
 	log.Printf("tcd: shutting down (healthz now 503; draining for %v)", *drain)
 	time.Sleep(*drain)
@@ -132,7 +146,10 @@ func buildCluster(path, preset string, scale, ef int, seed uint64, opt tc2d.Opti
 	return cl, desc, err
 }
 
-// server carries the resident cluster and service counters.
+// server carries the resident cluster and service counters. Handlers do
+// not serialize on any server-side mutex: the cluster's epoch scheduler
+// admits queries concurrently, and querySem (when -max-concurrent-queries
+// is set) only bounds how many are admitted at once.
 type server struct {
 	cluster  *tc2d.Cluster
 	desc     string
@@ -140,10 +157,39 @@ type server struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	draining atomic.Bool
+
+	querySem     chan struct{} // nil = unlimited
+	readInflight atomic.Int64
+	readPeak     atomic.Int64
 }
 
-func newServer(cl *tc2d.Cluster, desc string, start time.Time) *server {
-	return &server{cluster: cl, desc: desc, start: start}
+func newServer(cl *tc2d.Cluster, desc string, start time.Time, maxQueries int) *server {
+	s := &server{cluster: cl, desc: desc, start: start}
+	if maxQueries > 0 {
+		s.querySem = make(chan struct{}, maxQueries)
+	}
+	return s
+}
+
+// admitQuery bounds concurrent read queries and tracks queue-depth stats.
+// The returned release must be called when the query completes.
+func (s *server) admitQuery() (release func()) {
+	if s.querySem != nil {
+		s.querySem <- struct{}{}
+	}
+	n := s.readInflight.Add(1)
+	for {
+		peak := s.readPeak.Load()
+		if n <= peak || s.readPeak.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	return func() {
+		s.readInflight.Add(-1)
+		if s.querySem != nil {
+			<-s.querySem
+		}
+	}
 }
 
 func (s *server) handler() http.Handler {
@@ -162,6 +208,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ratio guards the coalescing-factor divisions against zero denominators.
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 func boolParam(r *http.Request, name string) bool {
@@ -185,6 +239,8 @@ func (s *server) fail(w http.ResponseWriter, err error) {
 
 func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	release := s.admitQuery()
+	defer release()
 	q := tc2d.QueryOptions{
 		NoDoublySparse: boolParam(r, "nodoublysparse"),
 		NoDirectHash:   boolParam(r, "nodirecthash"),
@@ -220,6 +276,14 @@ type updateRequest struct {
 
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	// Once shutdown has begun, the write queue stops accepting: answer 503
+	// with Retry-After so well-behaved writers resubmit elsewhere, while
+	// updates accepted before the drain keep committing.
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining: write queue is closed to new updates"})
+		return
+	}
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.errors.Add(1)
@@ -260,6 +324,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		"m":                res.M,
 		"wedges":           res.Wedges,
 		"rebuilt":          res.Rebuilt,
+		"coalesced":        res.Coalesced,
 		"apply_time_s":     res.ApplyTime,
 		"wall_ms":          float64(time.Since(t0).Microseconds()) / 1000,
 	})
@@ -267,6 +332,8 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleTransitivity(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	release := s.admitQuery()
+	defer release()
 	t0 := time.Now()
 	tr, err := s.cluster.Transitivity()
 	if err != nil {
@@ -300,6 +367,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"pre_ops":           info.PreOps,
 			"preprocess_time_s": info.PreprocessTime,
 			"comm_frac_pre":     info.CommFracPre,
+		},
+		"scheduler": map[string]any{
+			"read_inflight":          s.readInflight.Load(),
+			"read_inflight_peak":     s.readPeak.Load(),
+			"max_concurrent_queries": cap(s.querySem),
+			"read_epochs":            info.ReadEpochs,
+			"read_coalescing":        ratio(info.Queries, info.ReadEpochs),
+			"write_queue_depth":      info.QueueDepth,
+			"write_epochs":           info.WriteEpochs,
+			"coalesced_batches":      info.CoalescedBatches,
+			"write_coalescing":       ratio(info.CoalescedBatches, info.WriteEpochs),
 		},
 		"service": map[string]any{
 			"requests": s.requests.Load(),

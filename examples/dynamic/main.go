@@ -1,18 +1,26 @@
 // Dynamic cluster demo: a resident distributed graph serving an
 // append-heavy stream of edge mutations — the social-network write
-// workload. The cluster is built once; every batch of follows/unfollows is
-// applied with delta counting (only triangles incident to batch edges are
-// touched), so the maintained triangle count, edge count and transitivity
-// stay exact without ever re-running the preprocessing pipeline. When
-// enough updates accumulate, the staleness threshold triggers an automatic
-// in-world rebuild that refreshes the degree ordering — and the stream
-// keeps flowing through the composed label map.
+// workload — while four concurrent readers query it. The cluster is built
+// once; every batch of follows/unfollows is applied with delta counting
+// (only triangles incident to batch edges are touched), so the maintained
+// triangle count, edge count and transitivity stay exact without ever
+// re-running the preprocessing pipeline. When enough updates accumulate,
+// the staleness threshold triggers an automatic in-world rebuild that
+// refreshes the degree ordering — and the stream keeps flowing through the
+// composed label map.
+//
+// The readers never wait on each other: the epoch scheduler admits their
+// queries as concurrent read epochs (identical concurrent queries share
+// one epoch's result), while the writer's batches coalesce into exclusive
+// write epochs. The closing stats show both coalescing factors.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tc2d"
@@ -21,6 +29,7 @@ import (
 func main() {
 	const ranks = 9
 	const scale, ef = 11, 8
+	const readers = 4
 
 	g, err := tc2d.GenerateRMAT(tc2d.G500, scale, ef, 2026)
 	if err != nil {
@@ -45,6 +54,38 @@ func main() {
 	}
 	fmt.Printf("baseline: %d triangles\n\n", res.Triangles)
 
+	// Four concurrent readers poll the maintained counts while the
+	// mutation stream runs; their queries interleave with the write epochs
+	// under the scheduler, never serializing behind a write that has not
+	// drained yet.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var mu sync.Mutex // interleaved printing only
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			queries := 0
+			var last int64 = -1
+			for !stop.Load() {
+				res, err := cluster.Count(tc2d.QueryOptions{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				queries++
+				if res.Triangles != last {
+					last = res.Triangles
+					mu.Lock()
+					fmt.Printf("  reader %d: query %d sees %d triangles\n", r, queries, last)
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			fmt.Printf("  reader %d done: %d queries\n", r, queries)
+			mu.Unlock()
+		}(r)
+	}
+
 	// Stream mutation batches: mostly new follows, some unfollows sampled
 	// from the original graph, plus the duplicates and replays a real
 	// at-least-once feed delivers (they become skips, not errors).
@@ -68,11 +109,15 @@ func main() {
 		if upd.Rebuilt {
 			note = "  [staleness rebuild ran]"
 		}
-		fmt.Printf("batch %d: +%d -%d edges (%d skips), Δtri %+d → %d triangles, m=%d%s\n",
+		mu.Lock()
+		fmt.Printf("writer: batch %d: +%d -%d edges (%d skips), Δtri %+d → %d triangles, m=%d%s\n",
 			batchNo, upd.Inserted, upd.Deleted,
 			upd.SkippedExisting+upd.SkippedMissing+upd.SkippedLoops,
 			upd.DeltaTriangles, upd.Triangles, upd.M, note)
+		mu.Unlock()
 	}
+	stop.Store(true)
+	wg.Wait()
 
 	// The maintained counts must match a full recount over the spliced
 	// blocks and the transitivity derived from maintained wedges.
@@ -89,4 +134,13 @@ func main() {
 	fmt.Printf("transitivity %.6f over %d maintained wedges\n", tr, info.Wedges)
 	fmt.Printf("served %d queries + %d update batches, %d rebuilds, on one resident cluster\n",
 		info.Queries, info.Updates, info.Rebuilds)
+	readCoal, writeCoal := 1.0, 1.0
+	if info.ReadEpochs > 0 {
+		readCoal = float64(info.Queries) / float64(info.ReadEpochs)
+	}
+	if info.WriteEpochs > 0 {
+		writeCoal = float64(info.CoalescedBatches) / float64(info.WriteEpochs)
+	}
+	fmt.Printf("scheduler: %d read epochs served %d queries (%.1fx shared), %d write epochs carried %d batches (%.1fx coalesced)\n",
+		info.ReadEpochs, info.Queries, readCoal, info.WriteEpochs, info.CoalescedBatches, writeCoal)
 }

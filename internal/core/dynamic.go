@@ -9,6 +9,11 @@ package core
 // depends only on the endpoint labels — which updates never change — so a
 // batch never moves data between ranks: every rank splices exactly the
 // directed entries its own blocks hold.
+//
+// Everything in this file mutates the resident state in place and is
+// therefore EXCLUSIVE: it may only run inside a write epoch (World.Run),
+// never concurrently with the read-only CountPrepared. The split is what
+// lets the epoch scheduler run counting queries concurrently.
 
 import (
 	"sort"

@@ -185,6 +185,14 @@ func PrepareSUMMA(c *mpi.Comm, in *dgraph.Dist1D, opt Options) (*Prepared, error
 // with its own Prepared state from the same Prepare and identical options;
 // opt.Enumeration must match the rule the state was prepared for. The call
 // is repeatable: the resident blocks are not mutated.
+//
+// CountPrepared is strictly read-only against the Prepared state (the
+// kernel hash set and the travelling operand blobs are per-call), so any
+// number of CountPrepared epochs may run concurrently over the same state
+// as World.RunRead epochs. The write-path operations — Splice,
+// EnsureAdjacency, AdjustTotals, SetLabels, and the delta package's
+// Apply/Rebuild built on them — are exclusive and must not overlap any
+// CountPrepared epoch; the cluster scheduler enforces this split.
 func CountPrepared(c *mpi.Comm, prep *Prepared, opt Options) (*Result, error) {
 	if prep == nil {
 		return nil, fmt.Errorf("core: nil prepared state")

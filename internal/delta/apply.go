@@ -24,6 +24,10 @@ func packEdge(a, b int32) int64 {
 // same slice or nil). The returned Result is identical on every rank and
 // reports zero preprocessing operations: the pipeline never re-runs.
 //
+// Apply mutates the resident blocks in place (EnsureAdjacency, Splice,
+// AdjustTotals), so it must run as an exclusive write epoch (World.Run) —
+// never concurrently with CountPrepared read epochs over the same state.
+//
 // The epoch's phases: broadcast the batch; resolve current labels of the
 // batch endpoints through the retained cyclic/relabel maps; validate each
 // update at the rank owning its U-side entry (inserts of present edges
@@ -125,7 +129,7 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 	})
 	valid = c.AllreduceInt64s(valid, mpi.OpMax)
 
-	r := &Result{}
+	r := &Result{Effective: make([]bool, nb)}
 	var ins, dels [][2]int32
 	for i := 0; i < nb; i++ {
 		switch {
@@ -140,9 +144,11 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 		case ops[i] == OpInsert:
 			ins = append(ins, edges[i])
 			r.Inserted++
+			r.Effective[i] = true
 		default:
 			dels = append(dels, edges[i])
 			r.Deleted++
+			r.Effective[i] = true
 		}
 	}
 

@@ -63,10 +63,22 @@ type Result struct {
 	SkippedExisting, SkippedMissing int
 	SkippedLoops                    int
 
+	// Effective[i] reports whether the i-th entry of the canonical batch
+	// passed to Apply actually mutated the graph (false = it became one of
+	// the Skipped* counts). The write scheduler uses it to demultiplex a
+	// coalesced super-batch back into per-caller results.
+	Effective []bool
+
 	// DeltaTriangles is the exact triangle-count change of this batch;
 	// Triangles the maintained running total (filled by the cluster layer).
 	DeltaTriangles int64
 	Triangles      int64
+
+	// Coalesced is how many caller batches the write scheduler merged into
+	// the epoch that produced this result (1 when uncoalesced; filled by
+	// the cluster layer). The shared fields — DeltaTriangles, Triangles, M,
+	// Wedges, Probes, ApplyTime — describe that whole epoch.
+	Coalesced int
 
 	// M and Wedges are the graph's edge and wedge totals after the batch.
 	M, Wedges int64

@@ -27,6 +27,11 @@ import (
 // run. The triangle count is untouched (same graph, new layout); edge and
 // wedge totals are recomputed by the pipeline and verified against the
 // incrementally maintained ones.
+//
+// Like Apply, Rebuild must run as an exclusive write epoch (World.Run): it
+// reads the retained label maps and mirror while replacement state is
+// under construction, and the caller swaps the returned state in — neither
+// may race a CountPrepared read epoch.
 func Rebuild(c *mpi.Comm, prep *core.Prepared) (*core.Prepared, error) {
 	p := c.Size()
 	n := prep.N()

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tc2d"
+)
+
+// ConcurrentRow is one measured point of the concurrent scenario: R reader
+// goroutines issuing counting queries against a resident cluster while W
+// writer goroutines stream update batches through the write queue. Unlike
+// the paper-reproduction experiments this scenario reports real wall-clock
+// throughput — the epoch scheduler's concurrent read epochs, shared read
+// flights and coalesced write batches only pay off in wall time.
+type ConcurrentRow struct {
+	Dataset   string
+	Ranks     int
+	Readers   int
+	Writers   int
+	BatchSize int
+	Queries   int // read queries completed across all readers
+	Batches   int // write batches committed across all writers
+
+	ReadQPS         float64 // queries per wall second while readers ran
+	ReadLatencySec  float64 // mean wall seconds per query
+	WriteLatencySec float64 // mean wall seconds per ApplyUpdates call
+	ReadCoalescing  float64 // queries per counting epoch (shared flights)
+	WriteCoalescing float64 // batches per write epoch (queue coalescing)
+
+	Triangles int64 // maintained count after the stream
+	WallSec   float64
+}
+
+// RunConcurrent measures the mixed concurrent workload on one dataset for
+// every reader count in readerCounts: build the resident cluster once per
+// point, let R readers each run queriesPerReader full counting queries
+// while writers stream batch-sized update batches, and report read QPS,
+// write-batch latency and both coalescing factors. The cluster runs with
+// GOMAXPROCS compute slots (wall-clock configuration): virtual-time
+// fidelity is the serialized scenarios' concern, not this one's.
+func RunConcurrent(spec Spec, p, writers, batch, queriesPerReader int, readerCounts []int) ([]ConcurrentRow, error) {
+	g, err := spec.Params.Generate(spec.Scale, spec.EdgeFactor, spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("harness: generate %s: %w", spec.Name, err)
+	}
+	var rows []ConcurrentRow
+	for _, readers := range readerCounts {
+		row, err := runConcurrentOnce(spec, g, p, readers, writers, batch, queriesPerReader)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func runConcurrentOnce(spec Spec, g *tc2d.Graph, p, readers, writers, batch, queriesPerReader int) (*ConcurrentRow, error) {
+	t0 := time.Now()
+	cl, err := tc2d.NewCluster(g, tc2d.Options{Ranks: p, ComputeSlots: 0})
+	if err != nil {
+		return nil, fmt.Errorf("harness: concurrent %s on %d ranks: %w", spec.Name, p, err)
+	}
+	defer cl.Close()
+	if _, err := cl.Count(tc2d.QueryOptions{}); err != nil {
+		return nil, err
+	}
+	base := cl.Info()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+writers)
+
+	// Writers: each owns a disjoint pool of fresh vertex pairs (endpoint
+	// sum residue), toggling inserts and deletes so batches from different
+	// writers can always coalesce conflict-free.
+	var batches atomic.Int64
+	var writeWall atomic.Int64 // nanoseconds across ApplyUpdates calls
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + int64(spec.Seed)))
+			present := map[[2]int32]bool{}
+			var owned [][2]int32
+			for !stop.Load() {
+				upd := make([]tc2d.EdgeUpdate, 0, batch)
+				touched := map[[2]int32]bool{} // one op per edge per batch
+				for len(upd) < batch {
+					if len(owned) > 0 && rng.Intn(4) == 0 {
+						i := rng.Intn(len(owned))
+						k := owned[i]
+						if touched[k] {
+							continue
+						}
+						owned[i] = owned[len(owned)-1]
+						owned = owned[:len(owned)-1]
+						delete(present, k)
+						touched[k] = true
+						upd = append(upd, tc2d.EdgeUpdate{U: k[0], V: k[1], Op: tc2d.UpdateDelete})
+						continue
+					}
+					u, v := int32(rng.Intn(int(g.N))), int32(rng.Intn(int(g.N)))
+					if u == v {
+						continue
+					}
+					if u > v {
+						u, v = v, u
+					}
+					if writers > 1 && int(u+v)%writers != w {
+						continue
+					}
+					k := [2]int32{u, v}
+					if present[k] || touched[k] {
+						continue
+					}
+					present[k] = true
+					touched[k] = true
+					owned = append(owned, k)
+					upd = append(upd, tc2d.EdgeUpdate{U: u, V: v, Op: tc2d.UpdateInsert})
+				}
+				t := time.Now()
+				if _, err := cl.ApplyUpdates(upd); err != nil {
+					errCh <- err
+					return
+				}
+				writeWall.Add(int64(time.Since(t)))
+				batches.Add(1)
+			}
+		}(w)
+	}
+
+	// Readers: the fixed workload whose wall time defines the QPS window.
+	var readWall atomic.Int64
+	readStart := time.Now()
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for q := 0; q < queriesPerReader; q++ {
+				t := time.Now()
+				if _, err := cl.Count(tc2d.QueryOptions{}); err != nil {
+					errCh <- err
+					return
+				}
+				readWall.Add(int64(time.Since(t)))
+			}
+		}()
+	}
+	readerWG.Wait()
+	window := time.Since(readStart).Seconds()
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, fmt.Errorf("harness: concurrent %s on %d ranks: %w", spec.Name, p, err)
+	}
+
+	final, err := cl.Count(tc2d.QueryOptions{})
+	if err != nil {
+		return nil, err
+	}
+	info := cl.Info()
+	queries := readers * queriesPerReader
+	row := &ConcurrentRow{
+		Dataset: spec.Name, Ranks: p, Readers: readers, Writers: writers,
+		BatchSize: batch, Queries: queries, Batches: int(batches.Load()),
+		Triangles: final.Triangles, WallSec: time.Since(t0).Seconds(),
+	}
+	if window > 0 {
+		row.ReadQPS = float64(queries) / window
+	}
+	if queries > 0 {
+		row.ReadLatencySec = time.Duration(readWall.Load()).Seconds() / float64(queries)
+	}
+	if b := batches.Load(); b > 0 {
+		row.WriteLatencySec = time.Duration(writeWall.Load()).Seconds() / float64(b)
+	}
+	if re := info.ReadEpochs - base.ReadEpochs; re > 0 {
+		row.ReadCoalescing = float64(info.Queries-base.Queries) / float64(re)
+	}
+	if we := info.WriteEpochs; we > 0 {
+		row.WriteCoalescing = float64(info.CoalescedBatches) / float64(we)
+	}
+	return row, nil
+}
+
+// TableConcurrent prints the concurrent scenario: read throughput scaling
+// with reader count, write-batch latency and the two coalescing factors.
+func TableConcurrent(w io.Writer, rows []ConcurrentRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fprintf(w, "Concurrent scheduler — %d-edge write batches, wall-clock times\n", rows[0].BatchSize)
+	fprintf(w, "%-22s %6s %8s %8s %9s %10s %10s %8s %8s\n",
+		"dataset", "ranks", "readers", "writers", "readQPS", "read(ms)", "write(ms)", "rCoal", "wCoal")
+	for _, r := range rows {
+		fprintf(w, "%-22s %6d %8d %8d %9.1f %10.2f %10.2f %7.1fx %7.1fx\n",
+			r.Dataset, r.Ranks, r.Readers, r.Writers, r.ReadQPS,
+			1000*r.ReadLatencySec, 1000*r.WriteLatencySec, r.ReadCoalescing, r.WriteCoalescing)
+	}
+	return nil
+}

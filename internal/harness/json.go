@@ -43,11 +43,31 @@ type jsonUpdateRun struct {
 	WallSec       float64 `json:"wall_s"`
 }
 
+// jsonConcurrentRun is one machine-readable measurement of the concurrent
+// scheduler scenario (schema v3). All times are wall-clock: the scenario
+// measures the epoch scheduler's real throughput, not the cost model.
+type jsonConcurrentRun struct {
+	Dataset         string  `json:"dataset"`
+	Ranks           int     `json:"ranks"`
+	Readers         int     `json:"readers"`
+	Writers         int     `json:"writers"`
+	BatchSize       int     `json:"batch_size"`
+	Queries         int     `json:"queries"`
+	Batches         int     `json:"batches"`
+	ReadQPS         float64 `json:"read_qps"`
+	ReadLatencySec  float64 `json:"read_latency_s"`
+	WriteLatencySec float64 `json:"write_batch_latency_s"`
+	ReadCoalescing  float64 `json:"read_coalescing"`
+	WriteCoalescing float64 `json:"write_coalescing"`
+	Triangles       int64   `json:"triangles"`
+	WallSec         float64 `json:"wall_s"`
+}
+
 // jsonDoc is the envelope written by WriteBenchJSON; the schema is the
 // contract for the BENCH_*.json perf-trajectory records kept across PRs.
-// Schema v2 adds the update_runs section (absent or empty when the update
-// scenario did not run); v1 readers that ignore unknown fields still parse
-// the scaling runs.
+// Schema v2 added the update_runs section; v3 adds concurrent_runs (the
+// reader/writer scheduler scenario — absent or empty when it did not
+// run). Readers that ignore unknown fields still parse older sections.
 type jsonDoc struct {
 	SchemaVersion int       `json:"schema_version"`
 	Generated     time.Time `json:"generated"`
@@ -56,18 +76,19 @@ type jsonDoc struct {
 		Beta     float64 `json:"beta_bytes_per_s"`
 		Overhead float64 `json:"overhead_s"`
 	} `json:"cost_model"`
-	Runs       []jsonRun       `json:"runs"`
-	UpdateRuns []jsonUpdateRun `json:"update_runs,omitempty"`
+	Runs           []jsonRun           `json:"runs"`
+	UpdateRuns     []jsonUpdateRun     `json:"update_runs,omitempty"`
+	ConcurrentRuns []jsonConcurrentRun `json:"concurrent_runs,omitempty"`
 }
 
 // WriteBenchJSON emits the benchmark measurements as a machine-readable
 // JSON document: one record per (dataset, ranks) scaling point with the
 // triangle count, parallel phase times, communication fractions, operation
-// counters and real wall time, plus one record per dynamic-update
-// scenario point.
-func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, cfg Config) error {
+// counters and real wall time, plus one record per dynamic-update and per
+// concurrent-scheduler scenario point.
+func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, cfg Config) error {
 	var doc jsonDoc
-	doc.SchemaVersion = 2
+	doc.SchemaVersion = 3
 	doc.Generated = time.Now().UTC()
 	m := cfg.model()
 	doc.CostModel.Alpha = m.Alpha
@@ -108,6 +129,24 @@ func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, cfg Config)
 			PrepSec:       r.PrepSec,
 			DeltaSpeedup:  r.DeltaSpeedup,
 			WallSec:       r.WallSec,
+		})
+	}
+	for _, r := range conc {
+		doc.ConcurrentRuns = append(doc.ConcurrentRuns, jsonConcurrentRun{
+			Dataset:         r.Dataset,
+			Ranks:           r.Ranks,
+			Readers:         r.Readers,
+			Writers:         r.Writers,
+			BatchSize:       r.BatchSize,
+			Queries:         r.Queries,
+			Batches:         r.Batches,
+			ReadQPS:         r.ReadQPS,
+			ReadLatencySec:  r.ReadLatencySec,
+			WriteLatencySec: r.WriteLatencySec,
+			ReadCoalescing:  r.ReadCoalescing,
+			WriteCoalescing: r.WriteCoalescing,
+			Triangles:       r.Triangles,
+			WallSec:         r.WallSec,
 		})
 	}
 	enc := json.NewEncoder(w)

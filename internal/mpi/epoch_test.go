@@ -100,7 +100,7 @@ func TestCloseIdempotent(t *testing.T) {
 }
 
 func TestWorldSurvivesPanickedEpoch(t *testing.T) {
-	// A panic in one epoch must not kill the resident rank goroutines:
+	// A panic in one epoch must not poison the world:
 	// Close still returns and the error carries the panic.
 	w := NewWorld(2, testCfg())
 	defer w.Close()

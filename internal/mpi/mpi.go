@@ -11,6 +11,16 @@
 // *Own variants), so the programming model is identical to message passing
 // between processes.
 //
+// # Epoch groups
+//
+// A World supports many Run epochs and schedules them like a
+// reader/writer lock: Run epochs are exclusive (one at a time), while
+// RunRead epochs — which must not mutate any state shared across epochs —
+// may execute concurrently with each other. Every epoch gets a private
+// communication namespace keyed by its epoch id (its own mailbox matrix
+// and barrier), so messages from overlapping epochs can never cross, on
+// either transport.
+//
 // # Virtual time
 //
 // Besides real wall-clock time, the runtime maintains a per-rank virtual
@@ -78,29 +88,89 @@ type message struct {
 	depart float64 // virtual time at which the message is fully on the wire
 }
 
-// World owns the mailboxes and synchronization state for an SPMD runtime.
-// A world supports many Run epochs: rank goroutines are started lazily on
-// the first Run and then stay resident, pulling one job per epoch from their
-// job channel, so a distributed data structure built in one epoch can be
-// queried by later epochs without re-paying any setup. Epochs are serialized
-// (concurrent Run calls queue) and each epoch gets fresh virtual clocks and
-// stats. Call Close to retire the rank goroutines (and, for TCP worlds, the
-// sockets).
+// epochState is one epoch's private communication namespace: its own
+// mailbox matrix and barrier, keyed by the epoch id. Concurrent read
+// epochs each hold their own epochState, so a message sent in one epoch
+// can never be received by another.
+type epochState struct {
+	id      int
+	mail    [][]chan message // mail[dst][src]
+	barrier barrierState
+}
+
+func newEpochState(p, pairCap int) *epochState {
+	ep := &epochState{}
+	ep.mail = make([][]chan message, p)
+	for d := range ep.mail {
+		ep.mail[d] = make([]chan message, p)
+		for s := range ep.mail[d] {
+			ep.mail[d][s] = make(chan message, pairCap)
+		}
+	}
+	ep.barrier.init(p)
+	return ep
+}
+
+// getEpochState recycles a namespace from the pool (the p×p channel matrix
+// is the read hot path's only per-epoch allocation) or builds a fresh one.
+func (w *World) getEpochState(id int) *epochState {
+	ep, _ := w.epPool.Get().(*epochState)
+	if ep == nil {
+		ep = newEpochState(w.size, w.pairCap)
+	}
+	ep.id = id
+	return ep
+}
+
+// putEpochState returns a namespace to the pool. Only error-free epochs
+// recycle: a correct SPMD epoch consumes every message it sends (so the
+// mailboxes are empty and no transport goroutine still holds a reference),
+// while an errored epoch may have undelivered messages or late TCP frames
+// in flight — its namespace is dropped for the GC instead. The emptiness
+// scan is a cheap belt-and-suspenders check on top of that contract.
+func (w *World) putEpochState(ep *epochState) {
+	for _, row := range ep.mail {
+		for _, ch := range row {
+			if len(ch) != 0 {
+				return
+			}
+		}
+	}
+	w.epPool.Put(ep)
+}
+
+// World owns the transport and synchronization state for an SPMD runtime.
+// A world is resident: it supports many Run epochs against the same
+// transport (and, for TCP, the same sockets), so a distributed data
+// structure built in one epoch can be queried by later epochs without
+// re-paying any setup. Each epoch runs its rank bodies on worker
+// goroutines spawned for that epoch.
+//
+// Epochs form two groups. Run epochs are exclusive: they never overlap
+// with any other epoch. RunRead epochs may execute concurrently with each
+// other (but never with a Run epoch) — the reader/writer discipline of an
+// RWMutex. Each epoch gets fresh virtual clocks and stats and a private
+// comm namespace (see epochState). Call Close to retire the world (and,
+// for TCP worlds, the sockets).
 type World struct {
 	size    int
 	model   CostModel
+	pairCap int
 	slots   chan struct{}
-	mail    [][]chan message // mail[dst][src]
-	barrier barrierState
 	wire    *tcpWire // non-nil when messages travel over loopback TCP
 
-	runMu    sync.Mutex // serializes epochs and guards the lifecycle state
-	jobs     []chan job // per-rank job channels feeding the resident goroutines
-	started  bool
+	// gate is the epoch scheduler: RunRead epochs share it, Run epochs
+	// and Close take it exclusively.
+	gate sync.RWMutex
+
+	lifeMu   sync.Mutex // guards the lifecycle state below
 	closed   bool
 	epochs   int
-	loopWG   sync.WaitGroup
 	closeErr error
+
+	epochMu sync.RWMutex
+	active  map[int]*epochState // in-flight epochs by id (TCP routing)
+	epPool  sync.Pool           // recycled epochStates (error-free epochs only)
 }
 
 // NewWorld creates a world with p ranks.
@@ -117,19 +187,12 @@ func NewWorld(p int, cfg Config) *World {
 	if cfg.PairCap <= 0 {
 		cfg.PairCap = 16
 	}
-	w := &World{size: p, model: cfg.Model}
+	w := &World{size: p, model: cfg.Model, pairCap: cfg.PairCap}
 	w.slots = make(chan struct{}, cfg.ComputeSlots)
 	for i := 0; i < cfg.ComputeSlots; i++ {
 		w.slots <- struct{}{}
 	}
-	w.mail = make([][]chan message, p)
-	for d := range w.mail {
-		w.mail[d] = make([]chan message, p)
-		for s := range w.mail[d] {
-			w.mail[d][s] = make(chan message, cfg.PairCap)
-		}
-	}
-	w.barrier.init(p)
+	w.active = make(map[int]*epochState)
 	return w
 }
 
@@ -150,22 +213,13 @@ func (e *RankPanicError) Error() string {
 	return fmt.Sprintf("mpi: rank %d panicked: %v\n%s", e.Rank, e.Value, e.Stack)
 }
 
-// job is one epoch's unit of work for a resident rank goroutine.
+// job is one epoch's unit of work, shared by that epoch's rank workers.
 type job struct {
 	fn      RankFunc
+	ep      *epochState
 	results []any
 	errs    []error
 	wg      *sync.WaitGroup
-}
-
-// rankLoop is the resident goroutine of one rank: it executes one job per
-// epoch with a fresh Comm (virtual clock and stats reset), surviving panics
-// so the world stays usable for further epochs.
-func (w *World) rankLoop(r int) {
-	defer w.loopWG.Done()
-	for j := range w.jobs[r] {
-		j.run(&Comm{world: w, rank: r})
-	}
 }
 
 func (j job) run(c *Comm) {
@@ -182,71 +236,107 @@ func (j job) run(c *Comm) {
 	j.errs[c.rank] = err
 }
 
-// Run executes fn on every rank concurrently — one SPMD epoch — and returns
-// the per-rank results once all ranks finish. If any rank returns an error or
-// panics, Run returns the first such error (by rank order) alongside the
-// partial results.
+// Run executes fn on every rank concurrently — one exclusive SPMD epoch —
+// and returns the per-rank results once all ranks finish. If any rank
+// returns an error or panics, Run returns the first such error (by rank
+// order) alongside the partial results.
 //
-// Run may be called repeatedly on the same world: rank goroutines are started
-// on the first call and stay resident between epochs, every epoch starts with
-// fresh virtual clocks and stats, and concurrent Run calls are serialized.
-// After an epoch that returned an error the mailboxes may hold undelivered
-// messages, so an errored world should be Closed, not reused.
+// Run may be called repeatedly on the same world: the world (transport,
+// sockets, cost model) stays resident between epochs, and every epoch
+// starts with fresh virtual clocks and stats. A Run epoch never
+// overlaps any other epoch: concurrent Run calls queue, and a Run epoch
+// waits out all in-flight RunRead epochs (use RunRead for epochs that can
+// share the world). Each epoch's messages live in a namespace keyed by its
+// epoch id, so an errored epoch's undelivered messages die with it and
+// cannot poison later epochs — though an errored rank function usually
+// means the SPMD program itself lost synchronization, so treat errors as
+// fatal to the computation they belong to.
 func (w *World) Run(fn RankFunc) ([]any, error) {
-	w.runMu.Lock()
-	defer w.runMu.Unlock()
+	w.gate.Lock()
+	defer w.gate.Unlock()
+	return w.runEpoch(fn)
+}
+
+// RunRead executes fn on every rank concurrently as a read-only epoch:
+// multiple RunRead epochs may execute at the same time, each with its own
+// comm namespace, virtual clocks and stats. fn must not mutate state
+// shared across epochs (resident data structures built by earlier Run
+// epochs may be read freely). A Run epoch excludes all RunRead epochs and
+// vice versa, with the acquisition fairness of sync.RWMutex.
+//
+// Concurrent read epochs share the world's compute slots: with
+// ComputeSlots of 1 the virtual-time measurements stay contention-free but
+// compute sections of overlapping epochs serialize; raise ComputeSlots for
+// wall-clock throughput.
+func (w *World) RunRead(fn RankFunc) ([]any, error) {
+	w.gate.RLock()
+	defer w.gate.RUnlock()
+	return w.runEpoch(fn)
+}
+
+// runEpoch spawns one epoch's rank workers — each with a fresh Comm
+// (virtual clock and stats reset) bound to the epoch's comm namespace —
+// and collects their results. Workers survive panics, so the world stays
+// usable for further epochs. The caller holds the gate (shared or
+// exclusive).
+func (w *World) runEpoch(fn RankFunc) ([]any, error) {
+	w.lifeMu.Lock()
 	if w.closed {
+		w.lifeMu.Unlock()
 		return nil, fmt.Errorf("mpi: Run on closed world")
 	}
-	if !w.started {
-		w.started = true
-		w.jobs = make([]chan job, w.size)
-		for r := range w.jobs {
-			w.jobs[r] = make(chan job, 1)
-		}
-		w.loopWG.Add(w.size)
-		for r := 0; r < w.size; r++ {
-			go w.rankLoop(r)
-		}
-	}
 	w.epochs++
+	id := w.epochs
+	w.lifeMu.Unlock()
+
+	ep := w.getEpochState(id)
+	w.epochMu.Lock()
+	w.active[id] = ep
+	w.epochMu.Unlock()
+
 	results := make([]any, w.size)
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	wg.Add(w.size)
-	j := job{fn: fn, results: results, errs: errs, wg: &wg}
+	j := job{fn: fn, ep: ep, results: results, errs: errs, wg: &wg}
 	for r := 0; r < w.size; r++ {
-		w.jobs[r] <- j
+		go j.run(&Comm{world: w, rank: r, ep: ep})
 	}
 	wg.Wait()
+
+	// Deregister before any recycling: once the id is gone, a straggling
+	// TCP frame can only be dropped, never land in a reused namespace.
+	w.epochMu.Lock()
+	delete(w.active, id)
+	w.epochMu.Unlock()
 	for _, err := range errs {
 		if err != nil {
 			return results, err
 		}
 	}
+	w.putEpochState(ep)
 	return results, nil
 }
 
-// Epochs returns how many Run epochs have started on this world.
+// Epochs returns how many epochs (Run and RunRead) have started on this
+// world.
 func (w *World) Epochs() int {
-	w.runMu.Lock()
-	defer w.runMu.Unlock()
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
 	return w.epochs
 }
 
-// Close retires the world: the resident rank goroutines exit and, for TCP
-// worlds, the transport shuts down and the sockets are released. Close is
-// idempotent and returns the transport error, if any. It must not be called
-// concurrently with Run; a closed world cannot be reused.
+// Close retires the world: it waits out every in-flight epoch (whose rank
+// workers have then all exited) and, for TCP worlds, shuts the transport
+// down and releases the sockets. Close is idempotent and returns the
+// transport error, if any. A closed world cannot be reused.
 func (w *World) Close() error {
-	w.runMu.Lock()
+	w.gate.Lock()
+	defer w.gate.Unlock()
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
 	if !w.closed {
 		w.closed = true
-		if w.started {
-			for _, ch := range w.jobs {
-				close(ch)
-			}
-		}
 		if w.wire != nil {
 			close(w.wire.done)
 			w.wire.closeAll()
@@ -254,10 +344,7 @@ func (w *World) Close() error {
 			w.closeErr = w.wire.err
 		}
 	}
-	err := w.closeErr
-	w.runMu.Unlock()
-	w.loopWG.Wait()
-	return err
+	return w.closeErr
 }
 
 // Run is a convenience that creates a world, runs fn on p ranks for a single
@@ -277,10 +364,12 @@ type Stats struct {
 	WallComp  float64 // real seconds spent inside Compute sections
 }
 
-// Comm is one rank's endpoint into a World.
+// Comm is one rank's endpoint into a World, bound to one epoch's comm
+// namespace.
 type Comm struct {
 	world *World
 	rank  int
+	ep    *epochState
 
 	vt    float64 // virtual clock, seconds
 	stats Stats
@@ -362,10 +451,10 @@ func (c *Comm) SendOwn(dst, tag int, data []byte) {
 	depart := start + m.Overhead + m.Alpha + float64(len(data))/m.Beta
 	msg := message{tag: tag, data: data, depart: depart}
 	if w := c.world.wire; w != nil && dst != c.rank {
-		w.send(c.rank, dst, msg)
+		w.send(c.rank, dst, c.ep.id, msg)
 		return
 	}
-	c.world.mail[dst][c.rank] <- msg
+	c.ep.mail[dst][c.rank] <- msg
 }
 
 // Recv receives the next message from src, which must carry the given tag.
@@ -375,7 +464,7 @@ func (c *Comm) Recv(src, tag int) []byte {
 	if src < 0 || src >= c.world.size {
 		panic(fmt.Sprintf("mpi: rank %d recv from invalid rank %d", c.rank, src))
 	}
-	msg := <-c.world.mail[c.rank][src]
+	msg := <-c.ep.mail[c.rank][src]
 	if msg.tag != tag {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from rank %d, got %d", c.rank, tag, src, msg.tag))
 	}
@@ -400,7 +489,7 @@ func (c *Comm) Barrier() {
 	if p > 1 {
 		depth = bits.Len(uint(p - 1))
 	}
-	t := c.world.barrier.wait(c.vt)
+	t := c.ep.barrier.wait(c.vt)
 	c.advanceComm(t + float64(depth)*c.world.model.Alpha)
 }
 

@@ -107,18 +107,21 @@ func (t *tcpWire) fail(err error) {
 	t.errOnce.Do(func() { t.err = err })
 }
 
-// Frame layout: tag uint32 | payload length uint32 | depart float64 bits |
-// payload bytes.
-const frameHeader = 4 + 4 + 8
+// Frame layout: tag uint32 | epoch uint32 | payload length uint32 |
+// depart float64 bits | payload bytes. The epoch id routes the frame to
+// the namespace of the epoch it belongs to, so frames of overlapping read
+// epochs sharing one connection can never cross.
+const frameHeader = 4 + 4 + 4 + 8
 
-func (t *tcpWire) send(me, dst int, m message) {
+func (t *tcpWire) send(me, dst, epoch int, m message) {
 	t.mu[me][dst].Lock()
 	defer t.mu[me][dst].Unlock()
 	wtr := t.writers[me][dst]
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.tag))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(m.data)))
-	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(m.depart))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(epoch))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(m.data)))
+	binary.LittleEndian.PutUint64(hdr[12:], math.Float64bits(m.depart))
 	if _, err := wtr.Write(hdr[:]); err != nil {
 		panic(fmt.Sprintf("mpi: tcp send %d->%d: %v", me, dst, err))
 	}
@@ -147,16 +150,29 @@ func (t *tcpWire) readLoop(w *World, me, peer int) {
 		}
 		m := message{
 			tag:    int(int32(binary.LittleEndian.Uint32(hdr[0:]))),
-			depart: math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:])),
+			depart: math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:])),
 		}
-		n := binary.LittleEndian.Uint32(hdr[4:])
+		epoch := int(binary.LittleEndian.Uint32(hdr[4:]))
+		n := binary.LittleEndian.Uint32(hdr[8:])
 		m.data = make([]byte, n)
 		if _, err := io.ReadFull(r, m.data); err != nil {
 			t.fail(fmt.Errorf("mpi: tcp read %d<-%d: %w", me, peer, err))
 			return
 		}
+		// Route to the owning epoch's namespace. An epoch is registered
+		// before any of its ranks start and deregistered only after all of
+		// them finish, so a missing entry means the frame belongs to an
+		// errored epoch that already ended — drop it (an errored world must
+		// be Closed, and stalling this shared read loop would wedge the
+		// epochs that are still healthy).
+		w.epochMu.RLock()
+		ep := w.active[epoch]
+		w.epochMu.RUnlock()
+		if ep == nil {
+			continue
+		}
 		select {
-		case w.mail[me][peer] <- m:
+		case ep.mail[me][peer] <- m:
 		case <-t.done:
 			return
 		}

@@ -1,0 +1,290 @@
+package tc2d
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tc2d/internal/delta"
+	"tc2d/internal/mpi"
+)
+
+// The epoch scheduler: the admission layer between the Cluster's public
+// methods and the world's epochs.
+//
+//   - Reads (Count, Transitivity) take the gate shared and run as
+//     concurrent World.RunRead epochs; concurrent identical queries join a
+//     readFlight and share one epoch's result.
+//   - Writes (ApplyUpdates) enqueue a writeReq and block; a single
+//     resident writer goroutine (writeLoop) drains the queue, coalesces
+//     every pending batch into one canonicalized super-batch, takes the
+//     gate exclusively, runs ONE write epoch, demultiplexes per-caller
+//     results, and triggers at most one staleness rebuild per drain.
+//
+// The coalescing window is the time the writer spends waiting for the
+// exclusive gate (i.e. for in-flight read epochs and earlier write work):
+// the longer the reads, the more write batches amortize into one epoch.
+
+// readFlight is one in-flight counting epoch that concurrent identical
+// queries share.
+type readFlight struct {
+	res  *Result
+	err  error
+	done chan struct{}
+}
+
+// writeReq is one ApplyUpdates call waiting for a write epoch. canon,
+// loops and err are filled during coalescing; res when the epoch that
+// carried the request completes.
+type writeReq struct {
+	batch []EdgeUpdate
+	canon []EdgeUpdate
+	loops int
+	res   *UpdateResult
+	err   error
+	done  chan struct{}
+}
+
+func (r *writeReq) finish() { close(r.done) }
+
+// scheduler holds the admission state of one Cluster.
+type scheduler struct {
+	// gate is the RWMutex-style admission lock: queries share it, write
+	// epochs, rebuilds and Close take it exclusively.
+	gate sync.RWMutex
+
+	// rmu guards the read-flight table.
+	rmu     sync.Mutex
+	flights map[QueryOptions]*readFlight
+
+	// mu guards the write queue and the closing flag.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*writeReq
+	closing   bool
+	drainedCh chan struct{} // closed when writeLoop has fully drained and exited
+
+	depth       atomic.Int64 // ApplyUpdates callers enqueued or in flight
+	writeEpochs atomic.Int64 // write epochs run
+	absorbed    atomic.Int64 // caller batches those epochs carried
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{
+		flights:   make(map[QueryOptions]*readFlight),
+		drainedCh: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueueWrite hands one caller batch to the writer goroutine and blocks
+// until the carrying write epoch (or a canonicalization failure) resolves
+// it.
+func (cl *Cluster) enqueueWrite(batch []EdgeUpdate) (*UpdateResult, error) {
+	s := cl.sched
+	req := &writeReq{batch: batch, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.depth.Add(1)
+	s.queue = append(s.queue, req)
+	s.cond.Signal()
+	s.mu.Unlock()
+	<-req.done
+	s.depth.Add(-1)
+	return req.res, req.err
+}
+
+// writeLoop is the Cluster's resident writer goroutine. It exits only when
+// Close has been requested and every accepted request has resolved.
+func (cl *Cluster) writeLoop() {
+	s := cl.sched
+	var pending []*writeReq
+	for {
+		s.mu.Lock()
+		for len(pending) == 0 && len(s.queue) == 0 && !s.closing {
+			s.cond.Wait()
+		}
+		pending = append(pending, s.queue...)
+		s.queue = nil
+		closing := s.closing
+		s.mu.Unlock()
+		if len(pending) == 0 && closing {
+			close(s.drainedCh)
+			return
+		}
+		s.gate.Lock()
+		// The gate wait is the coalescing window: pick up everything that
+		// queued while read epochs (or the previous drain) held us out.
+		s.mu.Lock()
+		pending = append(pending, s.queue...)
+		s.queue = nil
+		s.mu.Unlock()
+		pending = cl.drainOnce(pending)
+		s.gate.Unlock()
+	}
+}
+
+// mergedEntry is one canonical edge operation of a super-batch together
+// with the FIFO list of pending-request indices that contributed it.
+type mergedEntry struct {
+	upd  delta.Update
+	reqs []int
+}
+
+// coalesce canonicalizes each pending request and merges them, in FIFO
+// order, into one conflict-free super-batch. Requests whose own batch is
+// invalid are resolved immediately with their error. A request whose batch
+// conflicts with an earlier pending one (insert vs delete of the same
+// edge) ends the merge: it and everything behind it stay pending for the
+// next drain, preserving FIFO semantics.
+func (cl *Cluster) coalesce(pending []*writeReq) (accepted []*writeReq, entries []mergedEntry, deferred []*writeReq) {
+	n := cl.prep[0].N()
+	index := make(map[[2]int32]int)
+	for qi := 0; qi < len(pending); qi++ {
+		req := pending[qi]
+		canon, loops, err := delta.Canonicalize(req.batch, n)
+		if err != nil {
+			req.err = err
+			req.finish()
+			continue
+		}
+		conflict := false
+		for _, u := range canon {
+			if ei, ok := index[[2]int32{u.U, u.V}]; ok && entries[ei].upd.Op != u.Op {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			deferred = pending[qi:]
+			break
+		}
+		req.canon, req.loops = canon, loops
+		ai := len(accepted)
+		for _, u := range canon {
+			key := [2]int32{u.U, u.V}
+			if ei, ok := index[key]; ok {
+				entries[ei].reqs = append(entries[ei].reqs, ai)
+			} else {
+				index[key] = len(entries)
+				entries = append(entries, mergedEntry{upd: u, reqs: []int{ai}})
+			}
+		}
+		accepted = append(accepted, req)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].upd.U != entries[j].upd.U {
+			return entries[i].upd.U < entries[j].upd.U
+		}
+		return entries[i].upd.V < entries[j].upd.V
+	})
+	return accepted, entries, deferred
+}
+
+// drainOnce coalesces the pending requests, runs one write epoch over the
+// super-batch, demultiplexes the results, and handles staleness — at most
+// one rebuild per drain. It returns the requests deferred by a cross-batch
+// conflict (processed by the caller's next iteration). sched.gate is held
+// exclusively.
+func (cl *Cluster) drainOnce(pending []*writeReq) []*writeReq {
+	accepted, entries, deferred := cl.coalesce(pending)
+	if len(accepted) == 0 {
+		return deferred
+	}
+	cl.applyMerged(accepted, entries)
+	return deferred
+}
+
+// applyMerged runs the one write epoch of a drain and resolves every
+// accepted request. sched.gate is held exclusively.
+func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
+	failAll := func(err error) {
+		for _, req := range accepted {
+			req.err = err
+			req.finish()
+		}
+	}
+	// Delta maintenance needs an exact base count.
+	if cl.lastTri.Load() < 0 {
+		if _, err := cl.countEpoch(QueryOptions{}); err != nil {
+			failAll(fmt.Errorf("tc2d: base count before update epoch: %w", err))
+			return
+		}
+	}
+	super := make([]delta.Update, len(entries))
+	for i, e := range entries {
+		super[i] = e.upd
+	}
+	prep := cl.prep
+	results, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
+		return delta.Apply(c, prep[c.Rank()], super)
+	})
+	if err != nil {
+		failAll(err)
+		return
+	}
+	epochRes := results[0].(*delta.Result)
+	cl.sched.writeEpochs.Add(1)
+	cl.sched.absorbed.Add(int64(len(accepted)))
+	cl.updates.Add(int64(len(accepted)))
+	total := cl.lastTri.Add(epochRes.DeltaTriangles)
+	cl.appliedEdges += int64(epochRes.Inserted + epochRes.Deleted)
+
+	// Demultiplex: each caller gets the shared epoch-level totals plus its
+	// own effective/skip accounting. A duplicate entry across callers is
+	// effective for its first (FIFO) contributor and a skip for the rest —
+	// exactly what sequential application would have reported.
+	perReq := make([]*UpdateResult, len(accepted))
+	for i, req := range accepted {
+		r := *epochRes
+		r.Effective = nil
+		r.Inserted, r.Deleted, r.SkippedExisting, r.SkippedMissing = 0, 0, 0, 0
+		r.SkippedLoops = req.loops
+		r.Triangles = total
+		r.Coalesced = len(accepted)
+		perReq[i] = &r
+	}
+	for i, e := range entries {
+		for j, ri := range e.reqs {
+			r := perReq[ri]
+			effective := epochRes.Effective[i] && j == 0
+			switch {
+			case e.upd.Op == delta.OpInsert && effective:
+				r.Inserted++
+			case e.upd.Op == delta.OpInsert:
+				r.SkippedExisting++
+			case effective:
+				r.Deleted++
+			default:
+				r.SkippedMissing++
+			}
+		}
+	}
+
+	// Staleness: at most one rebuild per drain, no matter how many batches
+	// it coalesced.
+	var rebuildErr error
+	if cl.autoRebuild && float64(cl.appliedEdges) > cl.rebuildFraction*float64(cl.baseM) {
+		if err := cl.rebuildLocked(); err != nil {
+			// The super-batch itself committed (counts are exact and
+			// maintained); only the layout refresh failed. Hand each caller
+			// its result alongside the error.
+			rebuildErr = fmt.Errorf("tc2d: updates applied, but staleness rebuild failed: %w", err)
+		} else {
+			for _, r := range perReq {
+				r.Rebuilt = true
+				r.PreOps = cl.prep[0].PreOps()
+			}
+		}
+	}
+	for i, req := range accepted {
+		req.res = perReq[i]
+		req.err = rebuildErr
+		req.finish()
+	}
+}

@@ -1,8 +1,6 @@
 package tc2d
 
 import (
-	"fmt"
-
 	"tc2d/internal/core"
 	"tc2d/internal/delta"
 	"tc2d/internal/mpi"
@@ -24,9 +22,13 @@ type EdgeUpdate = delta.Update
 // UpdateResult reports one applied batch: the effective insert/delete
 // counts (redundant entries become Skipped* no-ops), the exact triangle
 // delta and maintained running total, the new edge and wedge totals, and
-// the epoch's cost accounting. PreOps is 0 for a pure delta apply; it is
-// nonzero only when the batch pushed the cluster over its staleness
-// threshold and a rebuild ran (Rebuilt is then set).
+// the epoch's cost accounting. When the write scheduler coalesced several
+// callers' batches into one epoch, Coalesced reports how many, the
+// Inserted/Deleted/Skipped* fields stay per-caller, and the epoch-level
+// fields (DeltaTriangles, ApplyTime, Probes) describe the shared epoch.
+// PreOps is 0 for a pure delta apply; it is nonzero only when the drain
+// pushed the cluster over its staleness threshold and a rebuild ran
+// (Rebuilt is then set).
 type UpdateResult = delta.Result
 
 // ApplyUpdates applies a batch of edge insertions and deletions to the
@@ -41,74 +43,48 @@ type UpdateResult = delta.Result
 // discovered once per batch edge it contains and weighted by that
 // multiplicity, so inserts add and deletes subtract exactly — the running
 // count always equals what a from-scratch count of the mutated graph
-// would return. When the cumulative number of applied updates exceeds
-// Options.RebuildFraction of the edge count at the last build, the degree
-// ordering is considered stale and the blocks are rebuilt inside the same
-// world (see Rebuild); the result's Rebuilt flag reports this.
+// would return.
 //
-// Safe for concurrent use; updates and queries serialize into successive
-// epochs on the standing world.
+// Concurrent callers do not serialize into one epoch each: requests
+// enqueue into the cluster's write queue, and the scheduler coalesces
+// every batch pending at drain time into a single canonicalized
+// super-batch applied in one exclusive write epoch, demultiplexing the
+// per-caller skip/result accounting afterwards (see UpdateResult.Coalesced
+// and the scheduler notes in scheduler.go). Batches from different callers
+// that conflict (one inserts an edge another deletes) are never merged;
+// the later one waits for the next drain. When the cumulative number of
+// applied updates exceeds Options.RebuildFraction of the edge count at the
+// last build, the degree ordering is considered stale and the blocks are
+// rebuilt inside the same world — at most once per drain; the result's
+// Rebuilt flag reports this.
 func (cl *Cluster) ApplyUpdates(batch []EdgeUpdate) (*UpdateResult, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if cl.closed {
-		return nil, ErrClusterClosed
-	}
-	// Delta maintenance needs an exact base count.
-	if cl.lastTri < 0 {
-		if _, err := cl.countLocked(QueryOptions{}); err != nil {
-			return nil, err
-		}
-	}
-	canon, loops, err := delta.Canonicalize(batch, cl.prep[0].N())
-	if err != nil {
-		return nil, err
-	}
-	results, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
-		return delta.Apply(c, cl.prep[c.Rank()], canon)
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := results[0].(*delta.Result)
-	res.SkippedLoops = loops
-	cl.lastTri += res.DeltaTriangles
-	res.Triangles = cl.lastTri
-	cl.updates++
-	cl.appliedEdges += int64(res.Inserted + res.Deleted)
-	if cl.rebuildFraction > 0 && float64(cl.appliedEdges) > cl.rebuildFraction*float64(cl.baseM) {
-		if err := cl.rebuildLocked(); err != nil {
-			// The batch itself committed (counts are exact and maintained);
-			// only the layout refresh failed. Return the result so the
-			// caller can see the applied mutations alongside the error.
-			return res, fmt.Errorf("tc2d: updates applied, but staleness rebuild failed: %w", err)
-		}
-		res.Rebuilt = true
-		res.PreOps = cl.prep[0].PreOps()
-	}
-	return res, nil
+	return cl.enqueueWrite(batch)
 }
 
 // Rebuild re-runs the preprocessing pipeline over the current resident
 // graph inside the same world and epoch machinery: fresh degree ordering,
 // fresh 2D blocks, same grid schedule and transport, and an update-routing
 // map composed back into original-vertex space. Counts are unchanged —
-// only the layout is refreshed. ApplyUpdates triggers this automatically
-// once applied updates exceed Options.RebuildFraction of the edge count;
-// Rebuild forces it.
+// only the layout is refreshed. The write scheduler triggers this
+// automatically once applied updates exceed Options.RebuildFraction of the
+// edge count (unless Options.DisableAutoRebuild is set); Rebuild forces
+// it, waiting out in-flight queries and write epochs first.
 func (cl *Cluster) Rebuild() error {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if cl.closed {
-		return ErrClusterClosed
+	cl.sched.gate.Lock()
+	defer cl.sched.gate.Unlock()
+	if cl.closed.Load() {
+		return ErrClosed
 	}
 	return cl.rebuildLocked()
 }
 
+// rebuildLocked swaps the resident state for a freshly prepared one.
+// sched.gate is held exclusively.
 func (cl *Cluster) rebuildLocked() error {
+	prep := cl.prep
 	newPrep := make([]*core.Prepared, cl.ranks)
 	_, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
-		np, err := delta.Rebuild(c, cl.prep[c.Rank()])
+		np, err := delta.Rebuild(c, prep[c.Rank()])
 		if err != nil {
 			return nil, err
 		}
@@ -121,6 +97,6 @@ func (cl *Cluster) rebuildLocked() error {
 	cl.prep = newPrep
 	cl.appliedEdges = 0
 	cl.baseM = newPrep[0].M()
-	cl.rebuilds++
+	cl.rebuilds.Add(1)
 	return nil
 }
