@@ -123,6 +123,12 @@ type Options struct {
 	// splice into the resident blocks indefinitely and only an explicit
 	// Cluster.Rebuild call refreshes the degree ordering.
 	DisableAutoRebuild bool
+	// MaxVertices caps the elastic vertex space of a resident cluster:
+	// update batches that would grow the graph beyond this many ids are
+	// rejected with ErrVertexRange instead of allocating ever-larger
+	// blocks. 0 (the default) leaves growth unbounded up to the int32 id
+	// range. Ignored by one-shot counts.
+	MaxVertices int64
 
 	// ForceSUMMA schedules the computation with SUMMA broadcasts even for
 	// square rank counts. Non-square rank counts always use SUMMA (the
@@ -281,25 +287,44 @@ func CountSequential(g *Graph) int64 { return seqtc.Count(g) }
 // using the given number of workers (0 = GOMAXPROCS).
 func CountShared(g *Graph, workers int) int64 { return seqtc.CountParallel(g, workers) }
 
-// Transitivity returns the global clustering coefficient of g:
-// 3·triangles / #wedges, where a wedge is an unordered path of length two.
-func Transitivity(g *Graph) float64 {
+// WedgeCount returns the global wedge count Σ_v d(v)·(d(v)-1)/2 of g — the
+// denominator of the transitivity ratio.
+func WedgeCount(g *Graph) int64 {
 	var wedges int64
 	for v := int32(0); v < g.N; v++ {
 		d := int64(g.Degree(v))
 		wedges += d * (d - 1) / 2
 	}
+	return wedges
+}
+
+// TransitivityFromTotals returns the global clustering coefficient
+// 3·triangles / wedges from already-known totals. This is the reuse path
+// for callers that hold a count — a distributed Result, or the maintained
+// totals of a resident Cluster — so the sequential reference counter never
+// re-runs; Cluster.Transitivity and the plain Transitivity are both built
+// on it.
+func TransitivityFromTotals(triangles, wedges int64) float64 {
 	if wedges == 0 {
 		return 0
 	}
-	return 3 * float64(seqtc.Count(g)) / float64(wedges)
+	return 3 * float64(triangles) / float64(wedges)
 }
 
-// ClusteringCoefficients returns each vertex's local clustering coefficient
-// (triangles through v over d(v)·(d(v)-1)/2) and the average over vertices
-// of degree >= 2.
-func ClusteringCoefficients(g *Graph) (perVertex []float64, average float64) {
-	counts := seqtc.PerVertexCounts(g)
+// Transitivity returns the global clustering coefficient of g:
+// 3·triangles / #wedges, where a wedge is an unordered path of length two.
+// It recounts sequentially; callers that already hold totals (a Result, a
+// resident Cluster) should use TransitivityFromTotals or
+// Cluster.Transitivity instead.
+func Transitivity(g *Graph) float64 {
+	return TransitivityFromTotals(seqtc.Count(g), WedgeCount(g))
+}
+
+// ClusteringCoefficientsFromCounts derives each vertex's local clustering
+// coefficient (triangles through v over d(v)·(d(v)-1)/2) and the average
+// over vertices of degree >= 2 from already-computed per-vertex triangle
+// counts — the reuse path when the counts come from an earlier pass.
+func ClusteringCoefficientsFromCounts(g *Graph, counts []int64) (perVertex []float64, average float64) {
 	perVertex = make([]float64, g.N)
 	var sum float64
 	var eligible int64
@@ -316,6 +341,13 @@ func ClusteringCoefficients(g *Graph) (perVertex []float64, average float64) {
 		average = sum / float64(eligible)
 	}
 	return perVertex, average
+}
+
+// ClusteringCoefficients returns each vertex's local clustering coefficient
+// and the average over vertices of degree >= 2, computing the per-vertex
+// triangle counts with the sequential reference counter.
+func ClusteringCoefficients(g *Graph) (perVertex []float64, average float64) {
+	return ClusteringCoefficientsFromCounts(g, seqtc.PerVertexCounts(g))
 }
 
 // EdgeSupport returns the number of triangles containing each undirected

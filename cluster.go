@@ -2,6 +2,7 @@ package tc2d
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -46,8 +47,19 @@ func (q QueryOptions) coreOptions(enum Enumeration) core.Options {
 // applied updates exactly (maintained incrementally by the write path), so
 // a snapshot taken after ApplyUpdates describes the mutated graph.
 type ClusterInfo struct {
-	// N and M are the global vertex and undirected-edge counts.
+	// N and M are the global vertex and undirected-edge counts. N is
+	// elastic: ApplyUpdates batches naming new ids, and AddVertices, grow
+	// it live.
 	N, M int64
+	// BaseN is the vertex count at the last build; ids in [BaseN, N) form
+	// the overflow region (admitted since the last build, identity
+	// labels). OverflowFraction is (N-BaseN)/N — the share of the id space
+	// outside the degree-ordered layout; the next rebuild folds it to 0.
+	// SpaceVersion counts vertex-space layout changes (grows and folds).
+	BaseN            int64
+	OverflowN        int64
+	OverflowFraction float64
+	SpaceVersion     int64
 	// Wedges is the global wedge count Σ_v d(v)·(d(v)-1)/2.
 	Wedges int64
 	// Ranks is the SPMD world size; Transport the message transport.
@@ -115,9 +127,11 @@ type Cluster struct {
 	closeErr   error
 
 	// Write-path staleness state, touched only with sched.gate held
-	// exclusively. rebuildFraction and autoRebuild are immutable.
+	// exclusively. rebuildFraction, autoRebuild and maxVertices are
+	// immutable.
 	rebuildFraction float64
 	autoRebuild     bool
+	maxVertices     int64 // growth cap (0 = unbounded)
 	baseM           int64 // edge count at the last build, staleness denominator
 	appliedEdges    int64 // effective updates applied since the last build
 }
@@ -147,6 +161,9 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 	frac, err := opt.rebuildFraction()
 	if err != nil {
 		return nil, err
+	}
+	if opt.MaxVertices < 0 {
+		return nil, fmt.Errorf("tc2d: MaxVertices=%d must be non-negative", opt.MaxVertices)
 	}
 	world, err := opt.newWorld(p)
 	if err != nil {
@@ -185,6 +202,7 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 		sched:           newScheduler(),
 		rebuildFraction: frac,
 		autoRebuild:     !opt.DisableAutoRebuild,
+		maxVertices:     opt.MaxVertices,
 		baseM:           prep[0].M(),
 	}
 	cl.lastTri.Store(-1)
@@ -288,11 +306,7 @@ func (cl *Cluster) Transitivity() (float64, error) {
 		}
 		cl.queries.Add(1)
 	}
-	w := cl.prep[0].Wedges()
-	if w == 0 {
-		return 0, nil
-	}
-	return 3 * float64(cl.lastTri.Load()) / float64(w), nil
+	return TransitivityFromTotals(cl.lastTri.Load(), cl.prep[0].Wedges()), nil
 }
 
 // Info returns a snapshot of the resident cluster.
@@ -300,9 +314,14 @@ func (cl *Cluster) Info() ClusterInfo {
 	cl.sched.gate.RLock()
 	defer cl.sched.gate.RUnlock()
 	p0 := cl.prep[0]
+	sp := p0.Space()
 	return ClusterInfo{
 		N:                p0.N(),
 		M:                p0.M(),
+		BaseN:            sp.BaseN,
+		OverflowN:        sp.OverflowN(),
+		OverflowFraction: sp.OverflowFraction(),
+		SpaceVersion:     sp.Version,
 		Wedges:           p0.Wedges(),
 		Ranks:            cl.ranks,
 		Transport:        cl.transport,

@@ -1,6 +1,7 @@
 package tc2d
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -370,8 +371,18 @@ func TestClusterUpdatesValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.ApplyUpdates([]EdgeUpdate{{U: 0, V: g.N, Op: UpdateInsert}}); err == nil {
-		t.Error("out-of-range update should fail")
+	// Beyond-range endpoints are no longer errors: the vertex space is
+	// elastic and the batch grows it.
+	if res, err := cl.ApplyUpdates([]EdgeUpdate{{U: 0, V: g.N, Op: UpdateInsert}}); err != nil {
+		t.Errorf("beyond-range insert should grow the graph, got %v", err)
+	} else if res.GrownTo != int64(g.N)+1 || res.Inserted != 1 {
+		t.Errorf("growth batch: GrownTo=%d Inserted=%d, want %d and 1", res.GrownTo, res.Inserted, int64(g.N)+1)
+	}
+	if _, err := cl.ApplyUpdates([]EdgeUpdate{{U: -1, V: 2, Op: UpdateInsert}}); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("negative endpoint: err=%v, want ErrVertexRange", err)
+	}
+	if _, err := cl.RemoveVertices([]int32{2 * g.N}); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("removal outside the space: err=%v, want ErrVertexRange", err)
 	}
 	if _, err := cl.ApplyUpdates([]EdgeUpdate{
 		{U: 1, V: 2, Op: UpdateInsert},

@@ -7,7 +7,7 @@
 //	tcbench -exp table5 -ranks 16,25,36
 //
 // Experiments: table1 table2 fig1 fig2 fig3 table3 table4 table5 table6
-// ablation probes updates concurrent. -delta shifts every dataset scale
+// ablation probes updates concurrent growth. -delta shifts every dataset scale
 // (negative = smaller/faster). "updates" is the mixed read/write scenario:
 // a resident cluster absorbs batches of edge updates (delta counting, no
 // rebuild) interleaved with full count queries, reporting update
@@ -15,9 +15,12 @@
 // epoch-scheduler scenario: R reader goroutines issue counting queries
 // against one resident cluster while W writers stream update batches,
 // reporting wall-clock read QPS per reader count, write-batch latency and
-// the read/write coalescing factors. Both always run when -json is given;
-// their rows land in the update_runs and concurrent_runs sections
-// (schema v3).
+// the read/write coalescing factors. "growth" is the elastic-vertex-space
+// scenario: arrival batches keep wiring brand-new vertex ids into the
+// resident cluster (no rebuild on the hot path), sweeping apply cost
+// against overflow fraction, then one fold rebuild restores the cyclic
+// layout. All three always run when -json is given; their rows land in the
+// update_runs, concurrent_runs and growth_runs sections (schema v4).
 // Modeled parallel times come from the runtime's LogGP-style virtual clocks;
 // see DESIGN.md for the calibration discussion.
 package main
@@ -54,6 +57,10 @@ func main() {
 		cWriters = flag.Int("conc-writers", 2, "writer goroutines in the concurrent scenario")
 		cBatch   = flag.Int("conc-batch", 128, "edge updates per batch in the concurrent scenario")
 		cQueries = flag.Int("conc-queries", 30, "queries per reader in the concurrent scenario")
+
+		gRanks   = flag.String("growth-ranks", "4,9", "rank counts for the growth scenario")
+		gBatch   = flag.Int("growth-batch", 256, "edges per arrival batch in the growth scenario")
+		gBatches = flag.Int("growth-batches", 8, "arrival batches per point in the growth scenario")
 	)
 	flag.Parse()
 
@@ -134,13 +141,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The growth scenario feeds the "growth" table and the -json record:
+	// the elastic vertex space absorbing arrival streams, with the
+	// overflow-fraction sweep and the fold cost.
+	var growthRows []harness.GrowthRow
+	if sel("growth") || *jsonTo != "" {
+		var err error
+		if *detail {
+			fmt.Fprintf(os.Stderr, "tcbench: running growth scenario over ranks %s...\n", *gRanks)
+		}
+		growthRows, err = harness.RunGrowth(specs, parseInts(*gRanks), *gBatch, *gBatches, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: growth scenario: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonTo != "" {
 		f, err := os.Create(*jsonTo)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, cfg); err != nil {
+		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, growthRows, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: write json: %v\n", err)
 			os.Exit(1)
 		}
@@ -149,12 +171,13 @@ func main() {
 			os.Exit(1)
 		}
 		if *detail {
-			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update + %d concurrent runs to %s\n",
-				len(rows), len(updRows), len(concRows), *jsonTo)
+			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update + %d concurrent + %d growth runs to %s\n",
+				len(rows), len(updRows), len(concRows), len(growthRows), *jsonTo)
 		}
 	}
 	step("updates", func() error { return harness.TableUpdates(w, updRows) })
 	step("concurrent", func() error { return harness.TableConcurrent(w, concRows) })
+	step("growth", func() error { return harness.TableGrowth(w, growthRows) })
 	step("table2", func() error { return harness.Table2(w, rows) })
 	step("fig1", func() error { return harness.Figure1(w, rows) })
 	step("fig2", func() error { return harness.Figure2(w, rows, specs[1].Name) })

@@ -25,10 +25,17 @@
 //	GET  /count        — triangle count (query params: nodoublysparse,
 //	                     nodirecthash, noearlybreak, noblob, any of =1/true)
 //	GET  /transitivity — global clustering coefficient
-//	POST /update       — apply a batch of edge insertions/deletions:
-//	                     {"updates":[{"u":1,"v":2,"op":"insert"}, ...]};
+//	POST /update       — apply a batch of edge and vertex mutations:
+//	                     {"updates":[{"u":1,"v":2,"op":"insert"},
+//	                     {"op":"add_vertices","count":3},
+//	                     {"op":"remove_vertex","u":7}, ...]};
 //	                     counts are maintained incrementally (delta
-//	                     counting), no preprocessing re-runs
+//	                     counting), no preprocessing re-runs. The vertex
+//	                     space is elastic: edges naming ids beyond the
+//	                     current space grow the graph; impossible ids
+//	                     (negative, removal of a nonexistent vertex,
+//	                     growth beyond -max-vertices) return 400 with
+//	                     {"code":"vertex_range"}
 //	GET  /stats        — graph, cluster and service statistics
 //	GET  /healthz      — liveness/readiness probe; returns 503 once
 //	                     shutdown has begun so load balancers drain first
@@ -37,6 +44,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -64,10 +72,11 @@ func main() {
 		slots  = flag.Int("slots", 0, "compute slots (0 = GOMAXPROCS, fastest wall time)")
 		drain  = flag.Duration("drain", time.Second, "grace period after /healthz flips to 503 before the listener closes")
 		maxQ   = flag.Int("max-concurrent-queries", 0, "cap on concurrently admitted read queries (0 = unlimited)")
+		maxV   = flag.Int64("max-vertices", 1<<26, "cap on the elastic vertex space (0 = unbounded)")
 	)
 	flag.Parse()
 
-	opt := tc2d.Options{Ranks: *ranks, ComputeSlots: *slots}
+	opt := tc2d.Options{Ranks: *ranks, ComputeSlots: *slots, MaxVertices: *maxV}
 	if *tcp {
 		opt.Transport = tc2d.TransportTCP
 	}
@@ -268,9 +277,10 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 // updateRequest is the POST /update body.
 type updateRequest struct {
 	Updates []struct {
-		U  int32  `json:"u"`
-		V  int32  `json:"v"`
-		Op string `json:"op"`
+		U     int32  `json:"u"`
+		V     int32  `json:"v"`
+		Count int32  `json:"count"`
+		Op    string `json:"op"`
 	} `json:"updates"`
 }
 
@@ -298,10 +308,14 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			upd.Op = tc2d.UpdateInsert
 		case "delete":
 			upd.Op = tc2d.UpdateDelete
+		case "add_vertices":
+			upd = tc2d.EdgeUpdate{U: u.Count, Op: tc2d.UpdateAddVertices}
+		case "remove_vertex":
+			upd = tc2d.EdgeUpdate{U: u.U, Op: tc2d.UpdateRemoveVertex}
 		default:
 			s.errors.Add(1)
 			s.writeJSON(w, http.StatusBadRequest, map[string]string{
-				"error": fmt.Sprintf("update %d: unknown op %q (want insert or delete)", i, u.Op)})
+				"error": fmt.Sprintf("update %d: unknown op %q (want insert, delete, add_vertices or remove_vertex)", i, u.Op)})
 			return
 		}
 		batch = append(batch, upd)
@@ -310,6 +324,15 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	res, err := s.cluster.ApplyUpdates(batch)
 	if err != nil {
 		s.errors.Add(1)
+		// A typed vertex-range rejection is the caller's fault, with a
+		// structured body so clients can tell it from a malformed batch.
+		if errors.Is(err, tc2d.ErrVertexRange) {
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": err.Error(),
+				"code":  "vertex_range",
+			})
+			return
+		}
 		s.writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 		return
 	}
@@ -319,6 +342,10 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		"skipped_existing": res.SkippedExisting,
 		"skipped_missing":  res.SkippedMissing,
 		"skipped_loops":    res.SkippedLoops,
+		"added_vertices":   res.AddedVertices,
+		"removed_vertices": res.RemovedVertices,
+		"vertex_base":      res.VertexBase,
+		"n":                res.GrownTo,
 		"delta_triangles":  res.DeltaTriangles,
 		"triangles":        res.Triangles,
 		"m":                res.M,
@@ -353,10 +380,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	info := s.cluster.Info()
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"graph": map[string]any{
-			"source": s.desc,
-			"n":      info.N,
-			"m":      info.M,
-			"wedges": info.Wedges,
+			"source":            s.desc,
+			"n":                 info.N,
+			"base_n":            info.BaseN,
+			"overflow_n":        info.OverflowN,
+			"overflow_fraction": info.OverflowFraction,
+			"space_version":     info.SpaceVersion,
+			"m":                 info.M,
+			"wedges":            info.Wedges,
 		},
 		"cluster": map[string]any{
 			"ranks":             info.Ranks,

@@ -27,8 +27,10 @@ func main() {
 	}
 	fmt.Printf("triangles: %d  (%.2e hash probes across ranks)\n", res.Triangles, float64(res.Probes))
 
-	// Global clustering: how often do wedges close?
-	fmt.Printf("transitivity ratio: %.4f\n", tc2d.Transitivity(g))
+	// Global clustering: how often do wedges close? The distributed count
+	// above already produced the triangle total, so reuse it — only the
+	// wedge sum (one linear pass over degrees) remains to compute.
+	fmt.Printf("transitivity ratio: %.4f\n", tc2d.TransitivityFromTotals(res.Triangles, tc2d.WedgeCount(g)))
 
 	// Local clustering: tendency of each vertex's neighbourhood to form a
 	// clique; the average characterizes small-world structure.

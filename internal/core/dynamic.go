@@ -46,8 +46,10 @@ func (p *Prepared) GridShape() (qr, qc int, summa bool) {
 }
 
 // Labels returns the retained degree-relabel permutation: labels[i] is the
-// current label of cyclic id beg+i (see CyclicID). The slice is owned by
-// the Prepared value; callers must not modify it.
+// current label of cyclic id beg+i (see CyclicID, computed over BaseN).
+// The map covers the base region [0, BaseN) only — overflow ids are their
+// own labels and need no retained state. The slice is owned by the
+// Prepared value; callers must not modify it.
 func (p *Prepared) Labels() (beg int32, labels []int32) { return p.labelBeg, p.labels }
 
 // SetLabels replaces the retained permutation. The rebuild path uses it to

@@ -1,0 +1,143 @@
+package core
+
+// Elastic vertex space: the resident write path can grow the vertex set
+// without re-running the preprocessing pipeline. The id/layout stack splits
+// the id space in two regions described by a versioned VertexSpace
+// descriptor:
+//
+//   - the BASE region [0, BaseN): the ids the last build saw. Their routing
+//     goes through the closed-form cyclic map (CyclicID over BaseN) composed
+//     with the retained degree-relabel permutation, exactly as before.
+//   - the OVERFLOW region [BaseN, N): ids admitted since the last build.
+//     An overflow vertex's label IS its id — the overflow segment of the
+//     label map is the identity, so every rank can resolve it with no
+//     communication and no retained state. Overflow labels are the largest
+//     labels in the space, so they splice into the owning rank's blocks
+//     through the ordinary residue arithmetic; they are merely not
+//     degree-ordered, which costs kernel balance, not correctness (the
+//     orientation only needs a total order).
+//
+// Growing is therefore a purely local O(growth / q) operation per rank:
+// every resident block gains empty rows/columns for the new residue-class
+// locals. The next Rebuild folds the overflow back into a clean cyclic,
+// degree-ordered layout (BaseN == N again) and bumps the space version.
+//
+// Like Splice, GrowTo mutates resident state and is EXCLUSIVE: it may only
+// run inside a write epoch, never concurrently with CountPrepared.
+
+import (
+	"fmt"
+	"math"
+
+	"tc2d/internal/mpi"
+)
+
+// VertexSpace is the versioned descriptor of a Prepared value's elastic id
+// space.
+type VertexSpace struct {
+	// BaseN is the vertex count at the last build: ids below it route
+	// through the cyclic map + retained relabel permutation.
+	BaseN int64
+	// N is the current vertex count; [BaseN, N) is the overflow region
+	// (identity labels, folded in by the next rebuild).
+	N int64
+	// Version counts layout changes: every GrowTo and every rebuild fold
+	// bumps it.
+	Version int64
+}
+
+// OverflowN returns the size of the overflow region.
+func (s VertexSpace) OverflowN() int64 { return s.N - s.BaseN }
+
+// OverflowFraction returns the fraction of the id space living in the
+// overflow region — the layout-staleness signal vertex growth contributes.
+func (s VertexSpace) OverflowFraction() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.N-s.BaseN) / float64(s.N)
+}
+
+// BaseN returns the vertex count at the last build (the extent of the
+// cyclic/relabel maps).
+func (p *Prepared) BaseN() int64 { return p.baseN }
+
+// Space returns the current vertex-space descriptor.
+func (p *Prepared) Space() VertexSpace {
+	return VertexSpace{BaseN: p.baseN, N: p.n, Version: p.version}
+}
+
+// SetSpaceVersion stamps the descriptor version; the rebuild path uses it to
+// carry the version history onto the freshly folded state.
+func (p *Prepared) SetSpaceVersion(v int64) { p.version = v }
+
+// growCSRRows extends a row-stored block with trailing empty rows.
+func growCSRRows(b *csrBlock, rows int32) {
+	if rows <= b.rows {
+		return
+	}
+	last := b.xadj[b.rows]
+	xadj := make([]int32, rows+1)
+	copy(xadj, b.xadj)
+	for a := b.rows + 1; a <= rows; a++ {
+		xadj[a] = last
+	}
+	b.xadj, b.rows = xadj, rows
+}
+
+// growCSCCols extends a column-stored block with trailing empty columns.
+func growCSCCols(b *cscBlock, cols int32) {
+	tmp := csrBlock{rows: b.cols, xadj: b.xadj, adj: b.adj}
+	growCSRRows(&tmp, cols)
+	b.cols, b.xadj, b.adj = tmp.rows, tmp.xadj, tmp.adj
+}
+
+// GrowTo extends the vertex space to newN ids, admitting the overflow region
+// [p.N(), newN) into every resident block: the U/L/task blocks (and, when
+// built, the row mirror) gain empty rows and columns for the new
+// residue-class locals, and the global N every later query reports moves to
+// newN. No data moves between ranks and no relabeling happens — overflow
+// labels are the identity — so the call is purely local compute. Every rank
+// must call it with the same newN, inside an exclusive write epoch.
+func (p *Prepared) GrowTo(c *mpi.Comm, newN int64) error {
+	if newN <= p.n {
+		return nil
+	}
+	if newN > math.MaxInt32 {
+		return fmt.Errorf("core: vertex space of %d ids exceeds the int32 label range", newN)
+	}
+	c.Compute(func() {
+		if p.blk != nil {
+			blk := p.blk
+			blk.n = newN
+			blk.nRowsX = numWithResidue(newN, blk.q, blk.x)
+			blk.nColsY = numWithResidue(newN, blk.q, blk.y)
+			growCSRRows(&blk.ublk, blk.nRowsX)
+			growCSRRows(&blk.task, blk.nRowsX)
+			growCSCCols(&blk.lblk, blk.nColsY)
+		} else {
+			sblk := p.sblk
+			row, col := c.Rank()/p.qc, c.Rank()%p.qc
+			sblk.nRows = numWithResidue(newN, p.qr, row)
+			sblk.nCols = numWithResidue(newN, p.qc, col)
+			growCSRRows(&sblk.task, sblk.nRows)
+			for t := range sblk.uBucket {
+				b := sblk.uBucket[t]
+				growCSRRows(&b, sblk.nRows)
+				sblk.uBucket[t] = b
+			}
+			for t := range sblk.lBucket {
+				b := sblk.lBucket[t]
+				growCSCCols(&b, sblk.nCols)
+				sblk.lBucket[t] = b
+			}
+		}
+		if p.mirror != nil {
+			m := p.mirror
+			growCSRRows(&m.blk, numWithResidue(newN, m.rowMod, m.rowRes))
+		}
+		p.n = newN
+		p.version++
+	})
+	return nil
+}

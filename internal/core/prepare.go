@@ -26,7 +26,13 @@ type Prepared struct {
 	sblk       *summaBlocks
 	qr, qc, lc int
 
-	n, m    int64
+	// Elastic vertex space (see elastic.go): n is the CURRENT vertex
+	// count, baseN the count at the last build. Ids in [baseN, n) form the
+	// overflow region (identity labels); version counts layout changes.
+	n, baseN int64
+	version  int64
+
+	m       int64
 	wedges  int64
 	preOps  int64
 	preTime float64
@@ -34,9 +40,10 @@ type Prepared struct {
 
 	// Retained routing state for the dynamic-update subsystem
 	// (internal/delta): the degree-relabel permutation over this rank's
-	// cyclic-id range — composed with the closed-form cyclic map it routes
-	// update batches from original vertex ids to current labels — and the
-	// lazily built row-adjacency mirror the write path splices.
+	// cyclic-id range of the BASE region [0, baseN) — composed with the
+	// closed-form cyclic map it routes update batches from original vertex
+	// ids to current labels; overflow ids [baseN, n) resolve to themselves
+	// — and the lazily built row-adjacency mirror the write path splices.
 	labels   []int32 // final label of cyclic id labelBeg+i
 	labelBeg int32   // first cyclic id owned by this rank
 	mirror   *rowMirror
@@ -119,7 +126,7 @@ func Prepare(c *mpi.Comm, in *dgraph.Dist1D, opt Options) (*Prepared, error) {
 	if err := checkInput(in); err != nil {
 		return nil, err
 	}
-	prep := &Prepared{enum: opt.Enumeration, n: in.N}
+	prep := &Prepared{enum: opt.Enumeration, n: in.N, baseN: in.N}
 	localDirected := int64(len(in.Adj))
 	wedgesLocal := localWedges(in)
 
@@ -150,7 +157,7 @@ func PrepareSUMMAGrid(c *mpi.Comm, in *dgraph.Dist1D, qr, qc int, opt Options) (
 		return nil, err
 	}
 	L := lcm(qr, qc)
-	prep := &Prepared{enum: opt.Enumeration, n: in.N, qr: qr, qc: qc, lc: L}
+	prep := &Prepared{enum: opt.Enumeration, n: in.N, baseN: in.N, qr: qr, qc: qc, lc: L}
 	localDirected := int64(len(in.Adj))
 	wedgesLocal := localWedges(in)
 

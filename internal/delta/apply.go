@@ -2,6 +2,7 @@ package delta
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"tc2d/internal/core"
@@ -24,21 +25,27 @@ func packEdge(a, b int32) int64 {
 // same slice or nil). The returned Result is identical on every rank and
 // reports zero preprocessing operations: the pipeline never re-runs.
 //
-// Apply mutates the resident blocks in place (EnsureAdjacency, Splice,
-// AdjustTotals), so it must run as an exclusive write epoch (World.Run) —
-// never concurrently with CountPrepared read epochs over the same state.
+// Apply mutates the resident blocks in place (GrowTo, EnsureAdjacency,
+// Splice, AdjustTotals), so it must run as an exclusive write epoch
+// (World.Run) — never concurrently with CountPrepared read epochs over the
+// same state.
 //
-// The epoch's phases: broadcast the batch; resolve current labels of the
-// batch endpoints through the retained cyclic/relabel maps; validate each
-// update at the rank owning its U-side entry (inserts of present edges
-// and deletes of absent ones become skips, consistently on every rank);
-// capture pre-splice degrees for the wedge delta; run the deletion delta
-// pass against the old graph; splice all blocks in place; run the
+// The epoch's phases: broadcast the batch; run the vertex-admission
+// pre-pass (allocate OpAddVertices ranges above every id the batch
+// references, take the max new id over edges, allreduce, and grow the
+// resident blocks to the new space); resolve current labels of the batch
+// endpoints through the retained cyclic/relabel maps (overflow ids resolve
+// to themselves); expand each OpRemoveVertex into deletions of its full
+// adjacency, gathered from the owning grid row's mirrors; validate each
+// edge update at the rank owning its U-side entry (inserts of present
+// edges and deletes of absent ones become skips, consistently on every
+// rank); capture pre-splice degrees for the wedge delta; run the deletion
+// delta pass against the old graph; splice all blocks in place; run the
 // insertion delta pass against the new graph; reduce the discovery
 // buckets and fold the weighted formula into the resident totals.
 func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 	p := c.Size()
-	n := prep.N()
+	baseN := prep.BaseN()
 	qr, qc, _ := prep.GridShape()
 	x, y := c.Rank()/qc, c.Rank()%qc
 
@@ -58,16 +65,88 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 	enc = mpi.BytesToInt32s(c.Bcast(0, mpi.Int32sToBytes(enc)))
 	nb := len(enc) / 3
 
-	// Resolve the current label of every distinct batch endpoint: the
-	// block owner of a vertex's cyclic id holds its slot of the retained
-	// permutation; a single max-allreduce over a (-1)-initialized vector
-	// completes every rank's view.
+	// Vertex-admission pre-pass: deterministic over the broadcast batch.
+	// Explicit growth allocates contiguous ranges ABOVE every id the
+	// batch's edges reference, so AddVertices callers always receive fresh
+	// ids even when another coalesced batch names raw high ids.
+	oldN := prep.N()
+	newN := oldN
+	bases := make([]int64, nb)
+	removedOrig := map[int32]struct{}{}
+	var admitErr error
+	c.Compute(func() {
+		for i := 0; i < nb; i++ {
+			bases[i] = -1
+			u := enc[3*i]
+			if Op(enc[3*i+2]) != OpRemoveVertex {
+				continue
+			}
+			if u < 0 || int64(u) >= oldN {
+				admitErr = fmt.Errorf("delta: removal of vertex %d outside the current space [0, %d): %w", u, oldN, ErrVertexRange)
+				return
+			}
+			removedOrig[u] = struct{}{}
+		}
+		cursor := oldN
+		for i := 0; i < nb; i++ {
+			u, v, op := enc[3*i], enc[3*i+1], Op(enc[3*i+2])
+			if op != OpInsert && op != OpDelete {
+				continue
+			}
+			if u < 0 || v < 0 {
+				admitErr = fmt.Errorf("delta: update (%d, %d) has a negative endpoint: %w", u, v, ErrVertexRange)
+				return
+			}
+			_, remU := removedOrig[u]
+			_, remV := removedOrig[v]
+			if remU || remV {
+				admitErr = fmt.Errorf("delta: batch removes a vertex of edge (%d, %d) and also updates it", u, v)
+				return
+			}
+			if e := int64(u) + 1; e > cursor {
+				cursor = e
+			}
+			if e := int64(v) + 1; e > cursor {
+				cursor = e
+			}
+		}
+		for i := 0; i < nb; i++ {
+			if Op(enc[3*i+2]) == OpAddVertices {
+				bases[i] = cursor
+				cursor += int64(enc[3*i])
+			}
+		}
+		newN = cursor
+	})
+	if admitErr != nil {
+		return nil, admitErr
+	}
+	newN = c.AllreduceInt64(newN, mpi.OpMax)
+	if newN > math.MaxInt32 {
+		return nil, fmt.Errorf("delta: batch grows the vertex space to %d ids, beyond the int32 label range: %w", newN, ErrVertexRange)
+	}
+	if newN > oldN {
+		if err := prep.GrowTo(c, newN); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve the current label of every distinct batch vertex. Base-region
+	// ids go through the retained permutation: the block owner of the
+	// vertex's cyclic id holds its slot, and a single max-allreduce over a
+	// (-1)-initialized vector completes every rank's view. Overflow ids
+	// (>= baseN) are their own labels — every rank fills them locally.
 	var verts []int32
 	c.Compute(func() {
 		seen := make(map[int32]struct{}, 2*nb)
-		for i := 0; i < len(enc); i += 3 {
-			seen[enc[i]] = struct{}{}
-			seen[enc[i+1]] = struct{}{}
+		for i := 0; i < nb; i++ {
+			switch Op(enc[3*i+2]) {
+			case OpInsert, OpDelete:
+				seen[enc[3*i]] = struct{}{}
+				seen[enc[3*i+1]] = struct{}{}
+			case OpRemoveVertex:
+				seen[enc[3*i]] = struct{}{}
+			}
 		}
 		verts = make([]int32, 0, len(seen))
 		for v := range seen {
@@ -75,14 +154,18 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 		}
 		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
 	})
-	offsets := core.CyclicOffsets(n, p)
+	offsets := core.CyclicOffsets(baseN, p)
 	labelBeg, labels := prep.Labels()
 	req := make([]int64, len(verts))
 	c.Compute(func() {
 		for idx, v := range verts {
+			if int64(v) >= baseN {
+				req[idx] = int64(v) // overflow: identity label
+				continue
+			}
 			req[idx] = -1
 			v1 := core.CyclicID(offsets, v, p)
-			if dgraph.BlockOwner(v1, n, p) == c.Rank() {
+			if dgraph.BlockOwner(v1, baseN, p) == c.Rank() {
 				req[idx] = int64(labels[v1-labelBeg])
 			}
 		}
@@ -93,27 +176,102 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 		return int32(resolved[i])
 	}
 
-	// The labeled batch, canonical in label space (la < lb), aligned with
-	// the broadcast order.
+	// The labeled batch, canonical in label space (la < lb) for edge
+	// entries, aligned with the broadcast order. Vertex entries keep their
+	// removal label in edges[i][0].
 	edges := make([][2]int32, nb)
 	ops := make([]Op, nb)
 	c.Compute(func() {
 		for i := 0; i < nb; i++ {
-			la, lb := labelOf(enc[3*i]), labelOf(enc[3*i+1])
-			if la > lb {
-				la, lb = lb, la
-			}
-			edges[i] = [2]int32{la, lb}
 			ops[i] = Op(enc[3*i+2])
+			switch ops[i] {
+			case OpInsert, OpDelete:
+				la, lb := labelOf(enc[3*i]), labelOf(enc[3*i+1])
+				if la > lb {
+					la, lb = lb, la
+				}
+				edges[i] = [2]int32{la, lb}
+			case OpRemoveVertex:
+				edges[i] = [2]int32{labelOf(enc[3*i]), -1}
+			default:
+				edges[i] = [2]int32{-1, -1}
+			}
 		}
 	})
 
 	prep.EnsureAdjacency(c)
 
-	// Validate: the owner of the directed (la → lb) entry adjudicates.
+	// Expand vertex removals: the ranks of the removed label's grid row
+	// each hold one column-class slice of its adjacency; every rank needs
+	// the full row to build the identical deletion list, so contributors
+	// replicate their slices to all ranks through the sparse all-to-all.
+	var remIdx []int
+	for i := 0; i < nb; i++ {
+		if ops[i] == OpRemoveVertex {
+			remIdx = append(remIdx, i)
+		}
+	}
+	drops := make([]int32, nb)
+	var removalDels [][2]int32
+	if len(remIdx) > 0 {
+		rowMod, _, rowRes, _ := prep.MirrorShape()
+		send := make([][]int32, p)
+		c.Compute(func() {
+			for k, i := range remIdx {
+				lw := edges[i][0]
+				if int(lw)%rowMod != rowRes {
+					continue
+				}
+				row := prep.AdjRow(lw)
+				if len(row) == 0 {
+					continue
+				}
+				for dst := 0; dst < p; dst++ {
+					send[dst] = append(send[dst], int32(k), int32(len(row)))
+					send[dst] = append(send[dst], row...)
+				}
+			}
+		})
+		got := c.AlltoallvSparseInt32(send)
+		c.Compute(func() {
+			neighbors := make([][]int32, len(remIdx))
+			for src := 0; src < p; src++ {
+				buf := got[src]
+				for i := 0; i < len(buf); {
+					k, l := buf[i], int(buf[i+1])
+					neighbors[k] = append(neighbors[k], buf[i+2:i+2+l]...)
+					i += 2 + l
+				}
+			}
+			dropSet := make(map[int64]struct{})
+			for k, i := range remIdx {
+				lw := edges[i][0]
+				for _, u := range neighbors[k] {
+					key := packEdge(lw, u)
+					if _, dup := dropSet[key]; dup {
+						continue
+					}
+					dropSet[key] = struct{}{}
+					la, lb := lw, u
+					if la > lb {
+						la, lb = lb, la
+					}
+					removalDels = append(removalDels, [2]int32{la, lb})
+					drops[i]++
+				}
+			}
+		})
+	}
+
+	// Validate edge entries: the owner of the directed (la → lb) entry
+	// adjudicates. Vertex entries are always effective by construction.
 	valid := make([]int64, nb)
 	c.Compute(func() {
 		for i := range valid {
+			if ops[i] != OpInsert && ops[i] != OpDelete {
+				valid[i] = 1
+				continue
+			}
 			valid[i] = -1
 			la, lb := edges[i][0], edges[i][1]
 			if int(la)%qr == x && int(lb)%qc == y {
@@ -129,12 +287,27 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 	})
 	valid = c.AllreduceInt64s(valid, mpi.OpMax)
 
-	r := &Result{Effective: make([]bool, nb)}
+	r := &Result{
+		Effective:       make([]bool, nb),
+		VertexBases:     bases,
+		RemovalDrops:    drops,
+		AddedVertices:   int(newN - oldN),
+		RemovedVertices: len(remIdx),
+		GrownTo:         newN,
+		VertexBase:      -1,
+	}
 	var ins, dels [][2]int32
 	for i := 0; i < nb; i++ {
 		switch {
 		case valid[i] < 0:
 			return nil, fmt.Errorf("delta: update %d had no adjudicating rank", i)
+		case ops[i] == OpAddVertices:
+			r.Effective[i] = true
+			if r.VertexBase < 0 {
+				r.VertexBase = bases[i]
+			}
+		case ops[i] == OpRemoveVertex:
+			r.Effective[i] = true
 		case valid[i] == 0:
 			if ops[i] == OpInsert {
 				r.SkippedExisting++
@@ -143,14 +316,15 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 			}
 		case ops[i] == OpInsert:
 			ins = append(ins, edges[i])
-			r.Inserted++
 			r.Effective[i] = true
 		default:
 			dels = append(dels, edges[i])
-			r.Deleted++
 			r.Effective[i] = true
 		}
 	}
+	dels = append(dels, removalDels...)
+	r.Inserted = len(ins)
+	r.Deleted = len(dels)
 
 	// Wedge delta: pre-splice degrees of the affected vertices (each grid
 	// row's ranks hold disjoint column-class partials) plus the net

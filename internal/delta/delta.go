@@ -1,7 +1,8 @@
 // Package delta is the dynamic-update subsystem: it lets a resident
 // distributed graph (core.Prepared state on every rank of a standing
-// world) apply batches of edge insertions and deletions and keep its
-// triangle, edge and wedge counts exact — without re-running the
+// world) apply batches of edge insertions and deletions — and, since the
+// vertex space became elastic, vertex additions and removals — and keep
+// its triangle, edge and wedge counts exact, without re-running the
 // preprocessing pipeline.
 //
 // The approach follows the streaming literature (Tangwongsan et al.,
@@ -18,6 +19,20 @@
 // triangle exists in neither the old nor the new graph), so the two
 // passes compose without cross terms.
 //
+// Vertex elasticity rides the same machinery. Edges naming ids beyond the
+// current vertex space are not errors: a vertex-admission pre-pass
+// (deterministic scan of the broadcast batch plus a max-allreduce) sizes
+// the new space, every rank grows its resident blocks locally
+// (core.Prepared.GrowTo — overflow labels are the identity, so nothing
+// moves), and the batch then proceeds as usual. OpRemoveVertex drops a
+// vertex and all its incident edges as one batch op: the owning grid row
+// gathers the vertex's full adjacency from the row mirrors, the incident
+// edges join the deletion list, and the existing incident-triangle delta
+// pass prices them exactly. Only ids that never existed (negative, or a
+// removal naming an id outside the space) are rejected, with
+// ErrVertexRange so callers can tell "grow the graph" apart from a
+// malformed batch.
+//
 // Communication follows Sanders & Uhl's communication-efficiency
 // principle: the batch is broadcast once, each directed entry is spliced
 // on the rank that already owns its block (the 2D cyclic placement
@@ -27,27 +42,54 @@
 package delta
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
-// Op selects the kind of one edge update.
+// ErrVertexRange marks a batch naming a vertex id that cannot exist in any
+// state of the graph: a negative endpoint, a removal of an id outside the
+// current vertex space, or growth beyond a configured or representable
+// bound. Edges naming ids at or above the current vertex count do NOT
+// produce it — they grow the graph. Callers (and the tcd daemon, which
+// maps it to a 400) use it to distinguish malformed input from legitimate
+// vertex arrival.
+var ErrVertexRange = errors.New("delta: vertex id out of range")
+
+// Op selects the kind of one update.
 type Op int8
 
 // Update operations.
 const (
 	OpInsert Op = iota
 	OpDelete
+	// OpAddVertices grows the vertex space by U fresh ids (V unused). The
+	// allocated ids are contiguous and reported through Result.VertexBase;
+	// they start above every id referenced elsewhere in the same batch.
+	OpAddVertices
+	// OpRemoveVertex drops vertex U (V unused) and every edge incident to
+	// it as one operation, with an exact triangle delta. The id itself
+	// stays in the vertex space (isolated); a later edge touching it
+	// simply revives it.
+	OpRemoveVertex
 )
 
 func (o Op) String() string {
-	if o == OpDelete {
+	switch o {
+	case OpDelete:
 		return "delete"
+	case OpAddVertices:
+		return "add_vertices"
+	case OpRemoveVertex:
+		return "remove_vertex"
 	}
 	return "insert"
 }
 
-// Update is one undirected edge mutation, in original vertex ids.
+// Update is one mutation, in original vertex ids: an undirected edge
+// insertion or deletion (U, V), a vertex-space growth (OpAddVertices,
+// U = count) or a vertex removal (OpRemoveVertex, U = id).
 type Update struct {
 	U, V int32
 	Op   Op
@@ -56,18 +98,37 @@ type Update struct {
 // Result reports one applied batch. All totals are global and identical on
 // every rank.
 type Result struct {
-	// Inserted and Deleted count the effective mutations; Skipped* count
-	// the batch entries that were no-ops (inserting a present edge,
+	// Inserted and Deleted count the effective edge mutations — Deleted
+	// includes the incident edges dropped by vertex removals; Skipped*
+	// count the batch entries that were no-ops (inserting a present edge,
 	// deleting an absent one, self loops).
 	Inserted, Deleted               int
 	SkippedExisting, SkippedMissing int
 	SkippedLoops                    int
 
+	// AddedVertices is the number of ids the batch (for a coalesced
+	// super-batch: the whole epoch) admitted into the vertex space —
+	// explicit OpAddVertices allocations plus implicit growth from edges
+	// naming ids beyond the previous space. RemovedVertices counts
+	// OpRemoveVertex entries applied; GrownTo is the vertex count after
+	// the batch. VertexBase is the first id allocated by the batch's
+	// OpAddVertices entries (-1 when there were none).
+	AddedVertices   int
+	RemovedVertices int
+	GrownTo         int64
+	VertexBase      int64
+
 	// Effective[i] reports whether the i-th entry of the canonical batch
 	// passed to Apply actually mutated the graph (false = it became one of
 	// the Skipped* counts). The write scheduler uses it to demultiplex a
-	// coalesced super-batch back into per-caller results.
-	Effective []bool
+	// coalesced super-batch back into per-caller results. VertexBases and
+	// RemovalDrops are aligned the same way: the allocation base of an
+	// OpAddVertices entry (-1 otherwise) and the incident edges an
+	// OpRemoveVertex entry dropped (an edge between two removed vertices
+	// is attributed to the earlier entry).
+	Effective    []bool
+	VertexBases  []int64
+	RemovalDrops []int32
 
 	// DeltaTriangles is the exact triangle-count change of this batch;
 	// Triangles the maintained running total (filled by the cluster layer).
@@ -77,7 +138,7 @@ type Result struct {
 	// Coalesced is how many caller batches the write scheduler merged into
 	// the epoch that produced this result (1 when uncoalesced; filled by
 	// the cluster layer). The shared fields — DeltaTriangles, Triangles, M,
-	// Wedges, Probes, ApplyTime — describe that whole epoch.
+	// Wedges, GrownTo, Probes, ApplyTime — describe that whole epoch.
 	Coalesced int
 
 	// M and Wedges are the graph's edge and wedge totals after the batch.
@@ -98,49 +159,93 @@ type Result struct {
 	Rebuilt bool
 }
 
-// Canonicalize validates and normalizes a raw batch: endpoints must be in
-// [0, n); self loops are dropped (counted); edges are normalized to U < V;
-// exact duplicates collapse to one. A batch that both inserts and deletes
-// the same edge is rejected — the intended final state is ambiguous. The
-// returned batch is sorted by (U, V), making everything downstream
-// deterministic.
+// Canonicalize validates and normalizes a raw batch against a vertex space
+// of n ids. Edge endpoints must be non-negative but may lie at or beyond n
+// — the apply pre-pass grows the space to admit them; negative endpoints,
+// removals naming ids outside [0, n) and non-positive growth counts are
+// rejected (wrapping ErrVertexRange where an id is at fault). Self loops
+// are dropped (counted); edges are normalized to U < V; exact duplicates
+// collapse; a batch that both inserts and deletes the same edge, or that
+// removes a vertex and also updates an edge incident to it, is rejected —
+// the intended final state is ambiguous. All OpAddVertices entries of the
+// batch merge into one leading entry carrying the total count; removals
+// dedup and sort; edges sort by (U, V). The canonical order — growth,
+// removals, edges — makes everything downstream deterministic.
 func Canonicalize(batch []Update, n int64) (canon []Update, loops int, err error) {
-	canon = make([]Update, 0, len(batch))
+	var adds int64
+	removed := map[int32]struct{}{}
+	edges := make([]Update, 0, len(batch))
 	for _, upd := range batch {
-		if upd.U < 0 || upd.V < 0 || int64(upd.U) >= n || int64(upd.V) >= n {
-			return nil, 0, fmt.Errorf("delta: update (%d, %d) out of range [0, %d)", upd.U, upd.V, n)
-		}
-		if upd.Op != OpInsert && upd.Op != OpDelete {
+		switch upd.Op {
+		case OpAddVertices:
+			if upd.U <= 0 {
+				return nil, 0, fmt.Errorf("delta: add of %d vertices (count must be positive)", upd.U)
+			}
+			adds += int64(upd.U)
+			if adds > math.MaxInt32 {
+				return nil, 0, fmt.Errorf("delta: adding %d vertices exceeds the int32 id space: %w", adds, ErrVertexRange)
+			}
+		case OpRemoveVertex:
+			if upd.U < 0 || int64(upd.U) >= n {
+				return nil, 0, fmt.Errorf("delta: removal of vertex %d outside the current space [0, %d): %w", upd.U, n, ErrVertexRange)
+			}
+			removed[upd.U] = struct{}{}
+		case OpInsert, OpDelete:
+			if upd.U < 0 || upd.V < 0 {
+				return nil, 0, fmt.Errorf("delta: update (%d, %d) has a negative endpoint: %w", upd.U, upd.V, ErrVertexRange)
+			}
+			if upd.U == upd.V {
+				loops++
+				continue
+			}
+			if upd.U > upd.V {
+				upd.U, upd.V = upd.V, upd.U
+			}
+			edges = append(edges, upd)
+		default:
 			return nil, 0, fmt.Errorf("delta: unknown op %d", upd.Op)
 		}
-		if upd.U == upd.V {
-			loops++
-			continue
-		}
-		if upd.U > upd.V {
-			upd.U, upd.V = upd.V, upd.U
-		}
-		canon = append(canon, upd)
 	}
-	sort.Slice(canon, func(i, j int) bool {
-		if canon[i].U != canon[j].U {
-			return canon[i].U < canon[j].U
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
 		}
-		if canon[i].V != canon[j].V {
-			return canon[i].V < canon[j].V
+		if edges[i].V != edges[j].V {
+			return edges[i].V < edges[j].V
 		}
-		return canon[i].Op < canon[j].Op
+		return edges[i].Op < edges[j].Op
 	})
 	w := 0
-	for i, upd := range canon {
-		if i > 0 && upd == canon[i-1] {
+	for i, upd := range edges {
+		if i > 0 && upd == edges[i-1] {
 			continue
 		}
-		if i > 0 && upd.U == canon[i-1].U && upd.V == canon[i-1].V {
+		if i > 0 && upd.U == edges[i-1].U && upd.V == edges[i-1].V {
 			return nil, 0, fmt.Errorf("delta: batch both inserts and deletes edge (%d, %d)", upd.U, upd.V)
 		}
-		canon[w] = upd
+		_, remU := removed[upd.U]
+		_, remV := removed[upd.V]
+		if remU || remV {
+			return nil, 0, fmt.Errorf("delta: batch removes a vertex of edge (%d, %d) and also updates it", upd.U, upd.V)
+		}
+		edges[w] = upd
 		w++
 	}
-	return canon[:w], loops, nil
+	edges = edges[:w]
+
+	canon = make([]Update, 0, 1+len(removed)+len(edges))
+	if adds > 0 {
+		canon = append(canon, Update{U: int32(adds), Op: OpAddVertices})
+	}
+	if len(removed) > 0 {
+		ids := make([]int32, 0, len(removed))
+		for v := range removed {
+			ids = append(ids, v)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, v := range ids {
+			canon = append(canon, Update{U: v, Op: OpRemoveVertex})
+		}
+	}
+	return append(canon, edges...), loops, nil
 }

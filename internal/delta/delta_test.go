@@ -1,6 +1,7 @@
 package delta
 
 import (
+	"errors"
 	"testing"
 
 	"tc2d/internal/core"
@@ -33,14 +34,60 @@ func TestCanonicalize(t *testing.T) {
 		}
 	}
 
-	if _, _, err := Canonicalize([]Update{{U: 0, V: 9, Op: OpInsert}}, 8); err == nil {
-		t.Error("out-of-range vertex should fail")
+	// Elastic vertex space: ids at or beyond n are admitted (the apply
+	// pre-pass grows the graph); only impossible ids are rejected.
+	if _, _, err := Canonicalize([]Update{{U: 0, V: 9, Op: OpInsert}}, 8); err != nil {
+		t.Errorf("beyond-range edge should be admitted (growth), got %v", err)
+	}
+	if _, _, err := Canonicalize([]Update{{U: -1, V: 2, Op: OpInsert}}, 8); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("negative endpoint: err=%v, want ErrVertexRange", err)
 	}
 	if _, _, err := Canonicalize([]Update{
 		{U: 0, V: 1, Op: OpInsert},
 		{U: 1, V: 0, Op: OpDelete},
 	}, 8); err == nil {
 		t.Error("insert+delete of the same edge should fail")
+	}
+}
+
+func TestCanonicalizeVertexOps(t *testing.T) {
+	canon, _, err := Canonicalize([]Update{
+		{U: 5, V: 6, Op: OpInsert},
+		{U: 2, Op: OpAddVertices},
+		{U: 4, Op: OpRemoveVertex},
+		{U: 3, Op: OpAddVertices},
+		{U: 4, Op: OpRemoveVertex}, // duplicate removal collapses
+		{U: 1, Op: OpRemoveVertex},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Update{
+		{U: 5, Op: OpAddVertices}, // merged growth leads
+		{U: 1, Op: OpRemoveVertex},
+		{U: 4, Op: OpRemoveVertex},
+		{U: 5, V: 6, Op: OpInsert},
+	}
+	if len(canon) != len(want) {
+		t.Fatalf("canon=%v, want %v", canon, want)
+	}
+	for i := range want {
+		if canon[i] != want[i] {
+			t.Fatalf("canon=%v, want %v", canon, want)
+		}
+	}
+
+	if _, _, err := Canonicalize([]Update{{U: 9, Op: OpRemoveVertex}}, 8); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("removal beyond the space: err=%v, want ErrVertexRange", err)
+	}
+	if _, _, err := Canonicalize([]Update{{U: 0, Op: OpAddVertices}}, 8); err == nil {
+		t.Error("non-positive growth count should fail")
+	}
+	if _, _, err := Canonicalize([]Update{
+		{U: 3, Op: OpRemoveVertex},
+		{U: 3, V: 5, Op: OpInsert},
+	}, 8); err == nil {
+		t.Error("removal plus an incident edge update should fail")
 	}
 }
 

@@ -111,14 +111,32 @@ func Rebuild(c *mpi.Comm, prep *core.Prepared) (*core.Prepared, error) {
 	// (3) Compose the permutations: the fresh state's map is keyed by
 	// cyclic ids of the OLD label space; rewrite each retained slot
 	// (cyclic-original id → old label) through the owner of the old
-	// label's cyclic id.
+	// label's cyclic id. The composition also FOLDS the overflow region:
+	// the retained map only covers original ids below the old base, while
+	// overflow ids carried identity labels — so the new map is built over
+	// the full grown space (rank r owns the ids ≡ r mod p in both the old
+	// and the new cyclic layout; slot i of either map is id r + p·i),
+	// reading old labels from the retained slots where they exist and
+	// from the identity elsewhere. Afterwards BaseN == N again: the
+	// overflow region is empty and every id routes through one clean
+	// cyclic + degree-ordered composition.
+	oldBase := prep.BaseN()
 	offsets := core.CyclicOffsets(n, p)
-	oldBeg, oldLabels := prep.Labels()
+	_, oldLabels := prep.Labels()
 	newBeg, newLabels := np.Labels()
+	r := c.Rank()
+	nloc := 0
+	if int64(r) < n {
+		nloc = int((n - int64(r) + int64(p) - 1) / int64(p))
+	}
 	req := make([][]int32, p)
 	slots := make([][]int32, p)
 	c.Compute(func() {
-		for lv, w := range oldLabels {
+		for lv := 0; lv < nloc; lv++ {
+			w := int32(int64(r) + int64(p)*int64(lv)) // identity for overflow ids
+			if int64(w) < oldBase {
+				w = oldLabels[lv]
+			}
 			dst := dgraph.BlockOwner(core.CyclicID(offsets, w, p), n, p)
 			req[dst] = append(req[dst], w)
 			slots[dst] = append(slots[dst], int32(lv))
@@ -139,7 +157,7 @@ func Rebuild(c *mpi.Comm, prep *core.Prepared) (*core.Prepared, error) {
 		}
 	})
 	answers := c.AlltoallvSparseInt32(resp)
-	composed := make([]int32, len(oldLabels))
+	composed := make([]int32, nloc)
 	c.Compute(func() {
 		for dst := range slots {
 			for j, lv := range slots[dst] {
@@ -147,6 +165,7 @@ func Rebuild(c *mpi.Comm, prep *core.Prepared) (*core.Prepared, error) {
 			}
 		}
 	})
-	np.SetLabels(oldBeg, composed)
+	np.SetLabels(int32(offsets[r]), composed)
+	np.SetSpaceVersion(prep.Space().Version + 1)
 	return np, nil
 }

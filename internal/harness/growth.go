@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"tc2d/internal/core"
+	"tc2d/internal/delta"
+	"tc2d/internal/dgraph"
+	"tc2d/internal/graph"
+	"tc2d/internal/mpi"
+)
+
+// GrowthPoint is one batch of the vertex-arrival stream: the overflow
+// fraction the space had reached after the batch and the batch's apply
+// cost — together the points sweep apply cost against overflow fraction.
+type GrowthPoint struct {
+	OverflowFrac float64
+	ApplySec     float64
+}
+
+// GrowthRow is one measured point of the vertex-arrival scenario: a
+// resident cluster absorbing batches whose edges keep wiring brand-new
+// vertex ids into the graph (the elastic vertex space admits them with no
+// rebuild), followed by one explicit rebuild that folds the overflow
+// region back into a clean cyclic layout. ApplySec/FoldSec are modeled
+// parallel (virtual) times.
+type GrowthRow struct {
+	Dataset   string
+	Ranks     int
+	BatchSize int
+	Batches   int
+	N0, N     int64 // vertices at build time and after the stream
+	M         int64
+	Triangles int64   // maintained count after the stream (verified)
+	Overflow  float64 // overflow fraction reached before the fold
+	ApplySec  float64 // mean virtual seconds per arrival batch
+	EdgesPerS float64 // batch edges per virtual second of apply time
+	FoldSec   float64 // rebuild that folds the overflow (virtual seconds)
+	Sweep     []GrowthPoint
+	WallSec   float64 // real seconds for the whole stream
+}
+
+// RunGrowth measures the elastic-vertex-space path for every (dataset,
+// ranks) point: build the resident state once, stream `batches` batches of
+// `batch` edges where a quarter of the edges introduce fresh vertex ids
+// (wired to random resident anchors), verify the maintained triangle count
+// against a recount over the grown blocks, then fold the overflow with one
+// rebuild and verify again.
+func RunGrowth(specs []Spec, ranks []int, batch, batches int, cfg Config) ([]GrowthRow, error) {
+	var rows []GrowthRow
+	for _, spec := range specs {
+		g, err := spec.Params.Generate(spec.Scale, spec.EdgeFactor, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("harness: generate %s: %w", spec.Name, err)
+		}
+		for _, p := range ranks {
+			row, err := runGrowthOnce(spec, g, p, batch, batches, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func runGrowthOnce(spec Spec, g *graph.Graph, p, batch, batches int, cfg Config) (*GrowthRow, error) {
+	t0 := time.Now()
+	w := mpi.NewWorld(p, cfg.mpiConfig())
+	defer w.Close()
+	summa := mpi.SquareSide(p) < 0
+	preps := make([]*core.Prepared, p)
+	fail := func(err error) error {
+		return fmt.Errorf("harness: growth %s on %d ranks: %w", spec.Name, p, err)
+	}
+	_, err := w.Run(func(c *mpi.Comm) (any, error) {
+		var gin *graph.Graph
+		if c.Rank() == 0 {
+			gin = g
+		}
+		d, err := dgraph.ScatterGraph(c, 0, gin)
+		if err != nil {
+			return nil, err
+		}
+		var pr *core.Prepared
+		if summa {
+			pr, err = core.PrepareSUMMA(c, d, cfg.Options)
+		} else {
+			pr, err = core.Prepare(c, d, cfg.Options)
+		}
+		preps[c.Rank()] = pr
+		return nil, err
+	})
+	if err != nil {
+		return nil, fail(err)
+	}
+	count := func() (*core.Result, error) {
+		results, err := w.Run(func(c *mpi.Comm) (any, error) {
+			return core.CountPrepared(c, preps[c.Rank()], cfg.Options)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return results[0].(*core.Result), nil
+	}
+	base, err := count()
+	if err != nil {
+		return nil, fail(err)
+	}
+	triangles := base.Triangles
+
+	rng := rand.New(rand.NewSource(int64(spec.Seed)*2027 + int64(p)))
+	n0 := int64(g.N)
+	curN := n0
+	row := &GrowthRow{
+		Dataset: spec.Name, Ranks: p, BatchSize: batch, Batches: batches, N0: n0,
+	}
+	var applySec float64
+	var lastM int64
+	present := map[[2]int32]bool{}
+	for b := 0; b < batches; b++ {
+		// A quarter of the batch wires fresh vertex ids (3 anchor edges
+		// each), the rest churns edges among resident ids — the mixed
+		// arrival stream a growing social graph produces.
+		upd := make([]delta.Update, 0, batch)
+		arrivals := batch / 12
+		if arrivals < 1 {
+			arrivals = 1
+		}
+		for a := 0; a < arrivals; a++ {
+			nv := int32(curN) + int32(a)
+			for e := 0; e < 3; e++ {
+				anchor := int32(rng.Intn(int(curN)))
+				upd = append(upd, delta.Update{U: nv, V: anchor, Op: delta.OpInsert})
+			}
+		}
+		for len(upd) < batch {
+			u, v := int32(rng.Intn(int(curN))), int32(rng.Intn(int(curN)))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if present[[2]int32{u, v}] {
+				continue
+			}
+			present[[2]int32{u, v}] = true
+			upd = append(upd, delta.Update{U: u, V: v, Op: delta.OpInsert})
+		}
+		canon, _, err := delta.Canonicalize(upd, curN)
+		if err != nil {
+			return nil, fail(err)
+		}
+		var res *delta.Result
+		_, err = w.Run(func(c *mpi.Comm) (any, error) {
+			r, err := delta.Apply(c, preps[c.Rank()], canon)
+			if err == nil && c.Rank() == 0 {
+				res = r
+			}
+			return nil, err
+		})
+		if err != nil {
+			return nil, fail(fmt.Errorf("batch %d: %w", b, err))
+		}
+		curN = res.GrownTo
+		triangles += res.DeltaTriangles
+		lastM = res.M
+		applySec += res.ApplyTime
+		row.Sweep = append(row.Sweep, GrowthPoint{
+			OverflowFrac: float64(curN-n0) / float64(curN),
+			ApplySec:     res.ApplyTime,
+		})
+	}
+	qres, err := count()
+	if err != nil {
+		return nil, fail(err)
+	}
+	if qres.Triangles != triangles {
+		return nil, fail(fmt.Errorf("recount over grown blocks %d != maintained %d", qres.Triangles, triangles))
+	}
+
+	// Fold the overflow region with one in-world rebuild and verify the
+	// counts survived the layout change.
+	newPreps := make([]*core.Prepared, p)
+	_, err = w.Run(func(c *mpi.Comm) (any, error) {
+		np, err := delta.Rebuild(c, preps[c.Rank()])
+		newPreps[c.Rank()] = np
+		return nil, err
+	})
+	if err != nil {
+		return nil, fail(fmt.Errorf("fold rebuild: %w", err))
+	}
+	copy(preps, newPreps)
+	fres, err := count()
+	if err != nil {
+		return nil, fail(err)
+	}
+	if fres.Triangles != triangles {
+		return nil, fail(fmt.Errorf("post-fold recount %d != maintained %d", fres.Triangles, triangles))
+	}
+	if sp := preps[0].Space(); sp.OverflowN() != 0 {
+		return nil, fail(fmt.Errorf("fold left %d overflow vertices", sp.OverflowN()))
+	}
+
+	row.N = curN
+	row.M = lastM
+	row.Triangles = triangles
+	row.Overflow = float64(curN-n0) / float64(curN)
+	row.ApplySec = applySec / float64(batches)
+	row.FoldSec = preps[0].PreprocessTime()
+	row.WallSec = time.Since(t0).Seconds()
+	if row.ApplySec > 0 {
+		row.EdgesPerS = float64(batch) / row.ApplySec
+	}
+	return row, nil
+}
+
+// TableGrowth prints the vertex-arrival scenario: per-batch apply cost of
+// the growing stream, the overflow fraction reached, and the cost of the
+// fold that restores the clean cyclic layout.
+func TableGrowth(w io.Writer, rows []GrowthRow) error {
+	fprintf(w, "Vertex growth — arrival batches on an elastic resident cluster (virtual times)\n")
+	fprintf(w, "%-22s %6s %10s %10s %12s %10s %10s %10s\n",
+		"dataset", "ranks", "n0→n", "overflow", "apply(s)", "edges/s", "fold(s)", "tri")
+	for _, r := range rows {
+		fprintf(w, "%-22s %6d %4d→%-6d %9.1f%% %12s %10.0f %10s %10d\n",
+			r.Dataset, r.Ranks, r.N0, r.N, 100*r.Overflow,
+			fmtSecs(r.ApplySec), r.EdgesPerS, fmtSecs(r.FoldSec), r.Triangles)
+	}
+	return nil
+}

@@ -63,11 +63,38 @@ type jsonConcurrentRun struct {
 	WallSec         float64 `json:"wall_s"`
 }
 
+// jsonGrowthPoint is one batch of a growth run's overflow-fraction sweep.
+type jsonGrowthPoint struct {
+	OverflowFraction float64 `json:"overflow_fraction"`
+	ApplySec         float64 `json:"apply_s"`
+}
+
+// jsonGrowthRun is one machine-readable measurement of the vertex-arrival
+// scenario (schema v4): an elastic resident cluster absorbing batches that
+// wire brand-new vertex ids, then folding the overflow with one rebuild.
+type jsonGrowthRun struct {
+	Dataset          string            `json:"dataset"`
+	Ranks            int               `json:"ranks"`
+	BatchSize        int               `json:"batch_size"`
+	Batches          int               `json:"batches"`
+	N0               int64             `json:"n0"`
+	N                int64             `json:"n"`
+	M                int64             `json:"m"`
+	Triangles        int64             `json:"triangles"`
+	OverflowFraction float64           `json:"overflow_fraction"`
+	ApplySec         float64           `json:"apply_s"`
+	EdgesPerSec      float64           `json:"edges_per_s"`
+	FoldSec          float64           `json:"fold_s"`
+	Sweep            []jsonGrowthPoint `json:"sweep,omitempty"`
+	WallSec          float64           `json:"wall_s"`
+}
+
 // jsonDoc is the envelope written by WriteBenchJSON; the schema is the
 // contract for the BENCH_*.json perf-trajectory records kept across PRs.
-// Schema v2 added the update_runs section; v3 adds concurrent_runs (the
-// reader/writer scheduler scenario — absent or empty when it did not
-// run). Readers that ignore unknown fields still parse older sections.
+// Schema v2 added the update_runs section; v3 added concurrent_runs (the
+// reader/writer scheduler scenario); v4 adds growth_runs (the elastic
+// vertex-space scenario — absent or empty when it did not run). Readers
+// that ignore unknown fields still parse older sections.
 type jsonDoc struct {
 	SchemaVersion int       `json:"schema_version"`
 	Generated     time.Time `json:"generated"`
@@ -79,16 +106,17 @@ type jsonDoc struct {
 	Runs           []jsonRun           `json:"runs"`
 	UpdateRuns     []jsonUpdateRun     `json:"update_runs,omitempty"`
 	ConcurrentRuns []jsonConcurrentRun `json:"concurrent_runs,omitempty"`
+	GrowthRuns     []jsonGrowthRun     `json:"growth_runs,omitempty"`
 }
 
 // WriteBenchJSON emits the benchmark measurements as a machine-readable
 // JSON document: one record per (dataset, ranks) scaling point with the
 // triangle count, parallel phase times, communication fractions, operation
-// counters and real wall time, plus one record per dynamic-update and per
-// concurrent-scheduler scenario point.
-func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, cfg Config) error {
+// counters and real wall time, plus one record per dynamic-update,
+// concurrent-scheduler and vertex-growth scenario point.
+func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, growth []GrowthRow, cfg Config) error {
 	var doc jsonDoc
-	doc.SchemaVersion = 3
+	doc.SchemaVersion = 4
 	doc.Generated = time.Now().UTC()
 	m := cfg.model()
 	doc.CostModel.Alpha = m.Alpha
@@ -148,6 +176,27 @@ func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []Conc
 			Triangles:       r.Triangles,
 			WallSec:         r.WallSec,
 		})
+	}
+	for _, r := range growth {
+		run := jsonGrowthRun{
+			Dataset:          r.Dataset,
+			Ranks:            r.Ranks,
+			BatchSize:        r.BatchSize,
+			Batches:          r.Batches,
+			N0:               r.N0,
+			N:                r.N,
+			M:                r.M,
+			Triangles:        r.Triangles,
+			OverflowFraction: r.Overflow,
+			ApplySec:         r.ApplySec,
+			EdgesPerSec:      r.EdgesPerS,
+			FoldSec:          r.FoldSec,
+			WallSec:          r.WallSec,
+		}
+		for _, pt := range r.Sweep {
+			run.Sweep = append(run.Sweep, jsonGrowthPoint{OverflowFraction: pt.OverflowFrac, ApplySec: pt.ApplySec})
+		}
+		doc.GrowthRuns = append(doc.GrowthRuns, run)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -16,11 +16,12 @@ import (
 //   - Reads (Count, Transitivity) take the gate shared and run as
 //     concurrent World.RunRead epochs; concurrent identical queries join a
 //     readFlight and share one epoch's result.
-//   - Writes (ApplyUpdates) enqueue a writeReq and block; a single
-//     resident writer goroutine (writeLoop) drains the queue, coalesces
-//     every pending batch into one canonicalized super-batch, takes the
-//     gate exclusively, runs ONE write epoch, demultiplexes per-caller
-//     results, and triggers at most one staleness rebuild per drain.
+//   - Writes (ApplyUpdates, AddVertices, RemoveVertices) enqueue a
+//     writeReq and block; a single resident writer goroutine (writeLoop)
+//     drains the queue, coalesces every pending batch into one
+//     canonicalized super-batch, takes the gate exclusively, runs ONE
+//     write epoch, demultiplexes per-caller results, and triggers at most
+//     one staleness rebuild per drain.
 //
 // The coalescing window is the time the writer spends waiting for the
 // exclusive gate (i.e. for in-flight read epochs and earlier write work):
@@ -34,9 +35,9 @@ type readFlight struct {
 	done chan struct{}
 }
 
-// writeReq is one ApplyUpdates call waiting for a write epoch. canon,
-// loops and err are filled during coalescing; res when the epoch that
-// carried the request completes.
+// writeReq is one write-path call waiting for a write epoch. canon, loops
+// and err are filled during coalescing; res when the epoch that carried
+// the request completes.
 type writeReq struct {
 	batch []EdgeUpdate
 	canon []EdgeUpdate
@@ -65,7 +66,7 @@ type scheduler struct {
 	closing   bool
 	drainedCh chan struct{} // closed when writeLoop has fully drained and exited
 
-	depth       atomic.Int64 // ApplyUpdates callers enqueued or in flight
+	depth       atomic.Int64 // write callers enqueued or in flight
 	writeEpochs atomic.Int64 // write epochs run
 	absorbed    atomic.Int64 // caller batches those epochs carried
 }
@@ -129,22 +130,47 @@ func (cl *Cluster) writeLoop() {
 	}
 }
 
-// mergedEntry is one canonical edge operation of a super-batch together
-// with the FIFO list of pending-request indices that contributed it.
+// mergedEntry is one canonical operation of a super-batch together with
+// the FIFO list of pending-request indices that contributed it. Edge and
+// removal entries merge across requests; OpAddVertices entries never merge
+// (each keeps its own allocation) and stay in FIFO order.
 type mergedEntry struct {
 	upd  delta.Update
 	reqs []int
 }
 
+// opClass orders super-batch entries: explicit growth first (FIFO, so
+// allocations are deterministic), then removals, then edges — the
+// canonical order delta.Apply expects.
+func opClass(op delta.Op) int {
+	switch op {
+	case delta.OpAddVertices:
+		return 0
+	case delta.OpRemoveVertex:
+		return 1
+	}
+	return 2
+}
+
 // coalesce canonicalizes each pending request and merges them, in FIFO
 // order, into one conflict-free super-batch. Requests whose own batch is
-// invalid are resolved immediately with their error. A request whose batch
-// conflicts with an earlier pending one (insert vs delete of the same
-// edge) ends the merge: it and everything behind it stay pending for the
-// next drain, preserving FIFO semantics.
+// invalid (or would grow the space beyond Options.MaxVertices) are
+// resolved immediately with their error. A request that conflicts with an
+// earlier pending one — insert vs delete of the same edge, or a vertex
+// removal crossing another request's edges in either direction — ends the
+// merge: it and everything behind it stay pending for the next drain,
+// preserving FIFO semantics.
 func (cl *Cluster) coalesce(pending []*writeReq) (accepted []*writeReq, entries []mergedEntry, deferred []*writeReq) {
 	n := cl.prep[0].N()
-	index := make(map[[2]int32]int)
+	edgeIndex := make(map[[2]int32]int)
+	remIndex := make(map[int32]int)
+	accTouched := make(map[int32]bool) // endpoints of accepted edge entries
+	accRemoved := make(map[int32]bool) // ids accepted removals drop
+	// Growth projection of the drain so far, mirroring delta.Apply's
+	// admission arithmetic exactly: edge ids raise the cursor first, then
+	// every explicit allocation lands on top.
+	maxEdge := n  // max(n, largest edge endpoint + 1) over accepted entries
+	addTotal := int64(0) // explicit growth accepted so far
 	for qi := 0; qi < len(pending); qi++ {
 		req := pending[qi]
 		canon, loops, err := delta.Canonicalize(req.batch, n)
@@ -153,10 +179,39 @@ func (cl *Cluster) coalesce(pending []*writeReq) (accepted []*writeReq, entries 
 			req.finish()
 			continue
 		}
+		reqMaxEdge, reqAdds := maxEdge, int64(0)
+		for _, u := range canon {
+			switch u.Op {
+			case delta.OpAddVertices:
+				reqAdds += int64(u.U)
+			case delta.OpInsert, delta.OpDelete:
+				if e := int64(u.U) + 1; e > reqMaxEdge {
+					reqMaxEdge = e
+				}
+				if e := int64(u.V) + 1; e > reqMaxEdge {
+					reqMaxEdge = e
+				}
+			}
+		}
+		if cl.maxVertices > 0 && reqMaxEdge+addTotal+reqAdds > cl.maxVertices {
+			req.err = fmt.Errorf("tc2d: batch would grow the vertex space to %d ids, beyond MaxVertices=%d: %w",
+				reqMaxEdge+addTotal+reqAdds, cl.maxVertices, ErrVertexRange)
+			req.finish()
+			continue
+		}
 		conflict := false
 		for _, u := range canon {
-			if ei, ok := index[[2]int32{u.U, u.V}]; ok && entries[ei].upd.Op != u.Op {
-				conflict = true
+			switch u.Op {
+			case delta.OpAddVertices:
+			case delta.OpRemoveVertex:
+				conflict = accTouched[u.U]
+			default:
+				if ei, ok := edgeIndex[[2]int32{u.U, u.V}]; ok && entries[ei].upd.Op != u.Op {
+					conflict = true
+				}
+				conflict = conflict || accRemoved[u.U] || accRemoved[u.V]
+			}
+			if conflict {
 				break
 			}
 		}
@@ -165,19 +220,41 @@ func (cl *Cluster) coalesce(pending []*writeReq) (accepted []*writeReq, entries 
 			break
 		}
 		req.canon, req.loops = canon, loops
+		maxEdge, addTotal = reqMaxEdge, addTotal+reqAdds
 		ai := len(accepted)
 		for _, u := range canon {
-			key := [2]int32{u.U, u.V}
-			if ei, ok := index[key]; ok {
-				entries[ei].reqs = append(entries[ei].reqs, ai)
-			} else {
-				index[key] = len(entries)
+			switch u.Op {
+			case delta.OpAddVertices:
 				entries = append(entries, mergedEntry{upd: u, reqs: []int{ai}})
+			case delta.OpRemoveVertex:
+				accRemoved[u.U] = true
+				if ei, ok := remIndex[u.U]; ok {
+					entries[ei].reqs = append(entries[ei].reqs, ai)
+				} else {
+					remIndex[u.U] = len(entries)
+					entries = append(entries, mergedEntry{upd: u, reqs: []int{ai}})
+				}
+			default:
+				accTouched[u.U], accTouched[u.V] = true, true
+				key := [2]int32{u.U, u.V}
+				if ei, ok := edgeIndex[key]; ok {
+					entries[ei].reqs = append(entries[ei].reqs, ai)
+				} else {
+					edgeIndex[key] = len(entries)
+					entries = append(entries, mergedEntry{upd: u, reqs: []int{ai}})
+				}
 			}
 		}
 		accepted = append(accepted, req)
 	}
-	sort.Slice(entries, func(i, j int) bool {
+	sort.SliceStable(entries, func(i, j int) bool {
+		ci, cj := opClass(entries[i].upd.Op), opClass(entries[j].upd.Op)
+		if ci != cj {
+			return ci < cj
+		}
+		if ci == 0 {
+			return false // growth entries keep their FIFO allocation order
+		}
 		if entries[i].upd.U != entries[j].upd.U {
 			return entries[i].upd.U < entries[j].upd.U
 		}
@@ -236,40 +313,65 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 	cl.appliedEdges += int64(epochRes.Inserted + epochRes.Deleted)
 
 	// Demultiplex: each caller gets the shared epoch-level totals plus its
-	// own effective/skip accounting. A duplicate entry across callers is
-	// effective for its first (FIFO) contributor and a skip for the rest —
-	// exactly what sequential application would have reported.
+	// own effective/skip and vertex-space accounting. A duplicate edge (or
+	// removal) across callers is effective for its first (FIFO)
+	// contributor and a skip (or drop-free removal) for the rest — exactly
+	// what sequential application would have reported. Growth entries are
+	// never merged, so each caller reads its own allocation base.
 	perReq := make([]*UpdateResult, len(accepted))
 	for i, req := range accepted {
 		r := *epochRes
-		r.Effective = nil
+		r.Effective, r.VertexBases, r.RemovalDrops = nil, nil, nil
 		r.Inserted, r.Deleted, r.SkippedExisting, r.SkippedMissing = 0, 0, 0, 0
+		r.RemovedVertices, r.VertexBase = 0, -1
 		r.SkippedLoops = req.loops
 		r.Triangles = total
 		r.Coalesced = len(accepted)
 		perReq[i] = &r
 	}
 	for i, e := range entries {
-		for j, ri := range e.reqs {
-			r := perReq[ri]
-			effective := epochRes.Effective[i] && j == 0
-			switch {
-			case e.upd.Op == delta.OpInsert && effective:
-				r.Inserted++
-			case e.upd.Op == delta.OpInsert:
-				r.SkippedExisting++
-			case effective:
-				r.Deleted++
-			default:
-				r.SkippedMissing++
+		switch e.upd.Op {
+		case delta.OpAddVertices:
+			r := perReq[e.reqs[0]]
+			if r.VertexBase < 0 {
+				r.VertexBase = epochRes.VertexBases[i]
+			}
+		case delta.OpRemoveVertex:
+			for j, ri := range e.reqs {
+				r := perReq[ri]
+				r.RemovedVertices++
+				if j == 0 {
+					r.Deleted += int(epochRes.RemovalDrops[i])
+				}
+			}
+		default:
+			for j, ri := range e.reqs {
+				r := perReq[ri]
+				effective := epochRes.Effective[i] && j == 0
+				switch {
+				case e.upd.Op == delta.OpInsert && effective:
+					r.Inserted++
+				case e.upd.Op == delta.OpInsert:
+					r.SkippedExisting++
+				case effective:
+					r.Deleted++
+				default:
+					r.SkippedMissing++
+				}
 			}
 		}
 	}
 
 	// Staleness: at most one rebuild per drain, no matter how many batches
-	// it coalesced.
+	// it coalesced. Both edge churn and vertex-space overflow count — an
+	// overflow region past the threshold means too many labels sit outside
+	// the degree order.
+	stale := float64(cl.appliedEdges) > cl.rebuildFraction*float64(cl.baseM)
+	if sp := cl.prep[0].Space(); float64(sp.OverflowN()) > cl.rebuildFraction*float64(sp.BaseN) {
+		stale = true
+	}
 	var rebuildErr error
-	if cl.autoRebuild && float64(cl.appliedEdges) > cl.rebuildFraction*float64(cl.baseM) {
+	if cl.autoRebuild && stale {
 		if err := cl.rebuildLocked(); err != nil {
 			// The super-batch itself committed (counts are exact and
 			// maintained); only the layout refresh failed. Hand each caller
