@@ -130,6 +130,34 @@ type Options struct {
 	// range. Ignored by one-shot counts.
 	MaxVertices int64
 
+	// PersistDir makes a resident cluster durable: NewCluster writes an
+	// initial snapshot of the freshly prepared state there and logs every
+	// committed write batch to a write-ahead log, so OpenCluster(dir, ...)
+	// restores the cluster after a restart without re-running the
+	// preprocessing pipeline. The directory must not already hold another
+	// cluster's state (reopen that with OpenCluster). Empty (the default)
+	// disables persistence. Ignored by one-shot counts.
+	PersistDir string
+	// SnapshotFraction controls automatic snapshotting of a durable
+	// cluster, mirroring RebuildFraction's staleness currency: once the
+	// effective mutations accumulated in the WAL since the last snapshot
+	// exceed this fraction of the edge count at the last build, the write
+	// scheduler persists the state and rotates the WAL — at most once per
+	// write-queue drain. Valid values lie in [0, 1), where 0 selects the
+	// default of 0.5; NaN, negative and >= 1 values are rejected. Set
+	// DisableAutoSnapshot to snapshot only on explicit Cluster.Snapshot
+	// calls. Ignored when PersistDir is unset.
+	SnapshotFraction float64
+	// DisableAutoSnapshot turns the WAL-growth snapshot trigger off: the
+	// WAL grows until an explicit Cluster.Snapshot call rotates it.
+	DisableAutoSnapshot bool
+	// NoWALSync disables the per-commit fsync of the write-ahead log:
+	// acknowledged updates then survive a process crash (the OS page cache
+	// holds the appended records) but not a power failure. Throughput for
+	// durability; default off (every commit is fsynced before its callers
+	// are acknowledged).
+	NoWALSync bool
+
 	// ForceSUMMA schedules the computation with SUMMA broadcasts even for
 	// square rank counts. Non-square rank counts always use SUMMA (the
 	// rectangular-grid extension of the paper's §8); square ones default
@@ -197,6 +225,21 @@ func (o Options) rebuildFraction() (float64, error) {
 	}
 	if f == 0 {
 		return 0.25, nil
+	}
+	return f, nil
+}
+
+// snapshotFraction validates and resolves the auto-snapshot threshold.
+func (o Options) snapshotFraction() (float64, error) {
+	f := o.SnapshotFraction
+	if math.IsNaN(f) {
+		return 0, fmt.Errorf("tc2d: SnapshotFraction is NaN")
+	}
+	if f < 0 || f >= 1 {
+		return 0, fmt.Errorf("tc2d: SnapshotFraction=%v out of range [0, 1) — use DisableAutoSnapshot to snapshot only explicitly", f)
+	}
+	if f == 0 {
+		return 0.5, nil
 	}
 	return f, nil
 }

@@ -86,9 +86,14 @@ type ClusterInfo struct {
 	QueueDepth       int64
 	// PreOps and PreprocessTime describe the one-time preprocessing that
 	// built the resident state; CommFracPre its communication fraction.
+	// Both are zero on a cluster restored by OpenCluster: a restore decodes
+	// the resident blocks from the snapshot and never re-runs the pipeline.
 	PreOps         int64
 	PreprocessTime float64
 	CommFracPre    float64
+	// Persist reports the durability state (WAL sequence, snapshots,
+	// replay); Persist.Enabled is false when Options.PersistDir was unset.
+	Persist PersistInfo
 }
 
 // Cluster is a resident distributed graph: the preprocessing pipeline
@@ -134,6 +139,10 @@ type Cluster struct {
 	maxVertices     int64 // growth cap (0 = unbounded)
 	baseM           int64 // edge count at the last build, staleness denominator
 	appliedEdges    int64 // effective updates applied since the last build
+
+	// persist is the durability state (snapshot directory + WAL); nil when
+	// Options.PersistDir was unset. See persist.go.
+	persist *persister
 }
 
 // NewCluster builds a resident cluster over g: the graph is scattered to
@@ -159,6 +168,10 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 		return nil, err
 	}
 	frac, err := opt.rebuildFraction()
+	if err != nil {
+		return nil, err
+	}
+	snapFrac, err := opt.snapshotFraction()
 	if err != nil {
 		return nil, err
 	}
@@ -206,6 +219,12 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 		baseM:           prep[0].M(),
 	}
 	cl.lastTri.Store(-1)
+	if opt.PersistDir != "" {
+		if err := cl.initPersist(opt, snapFrac); err != nil {
+			world.Close()
+			return nil, err
+		}
+	}
 	go cl.writeLoop()
 	return cl, nil
 }
@@ -335,14 +354,17 @@ func (cl *Cluster) Info() ClusterInfo {
 		PreOps:           p0.PreOps(),
 		PreprocessTime:   p0.PreprocessTime(),
 		CommFracPre:      p0.CommFracPre(),
+		Persist:          cl.persistInfo(),
 	}
 }
 
 // Close releases the cluster: the write queue is drained first (every
-// ApplyUpdates accepted before Close began still commits), in-flight
-// queries finish, then the world (and, for TCP, the sockets) comes
-// down. Close is idempotent; operations after Close return
-// ErrClosed.
+// ApplyUpdates accepted before Close began still commits — and, on a
+// durable cluster, lands in the WAL), in-flight queries and snapshots
+// finish (an in-flight Snapshot holds the gate shared, so the world never
+// comes down under its encoding epoch), then the world (and, for TCP, the
+// sockets) comes down and the WAL handle is released. Close is idempotent;
+// operations after Close return ErrClosed.
 func (cl *Cluster) Close() error {
 	cl.closeOnce.Do(func() {
 		s := cl.sched
@@ -354,6 +376,7 @@ func (cl *Cluster) Close() error {
 		s.gate.Lock()
 		cl.closed.Store(true)
 		cl.closeErr = cl.world.Close()
+		cl.closePersist()
 		s.gate.Unlock()
 	})
 	return cl.closeErr

@@ -13,12 +13,19 @@
 // admitted read queries and /stats reports queue depths and coalescing
 // factors.
 //
+// With -persist-dir the cluster is durable: the resident state is
+// snapshotted there and every committed update batch lands in a write-ahead
+// log, so a restarted tcd pointed at the same directory restores the graph —
+// snapshot plus WAL replay, zero re-preprocessing — instead of rebuilding it
+// from -graph/-rmat (which are then only used for the very first boot).
+//
 // Usage:
 //
 //	tcd -rmat 14 -ranks 9                       # RMAT graph, 9-rank cluster
 //	tcd -graph edges.txt -ranks 4 -addr :7171   # edge-list file
 //	tcd -rmat 13 -preset twitter -tcp           # loopback-TCP transport
 //	tcd -rmat 12 -max-concurrent-queries 32     # bound admitted reads
+//	tcd -rmat 12 -persist-dir /var/lib/tcd      # durable: restores on boot
 //
 // Endpoints:
 //
@@ -36,7 +43,10 @@
 //	                     (negative, removal of a nonexistent vertex,
 //	                     growth beyond -max-vertices) return 400 with
 //	                     {"code":"vertex_range"}
-//	GET  /stats        — graph, cluster and service statistics
+//	POST /snapshot     — persist the current state now (requires
+//	                     -persist-dir; also happens automatically as the
+//	                     WAL grows); returns the snapshot seq/path/bytes
+//	GET  /stats        — graph, cluster, service and durability statistics
 //	GET  /healthz      — liveness/readiness probe; returns 503 once
 //	                     shutdown has begun so load balancers drain first
 package main
@@ -62,7 +72,7 @@ import (
 func main() {
 	var (
 		addr   = flag.String("addr", ":7171", "HTTP listen address")
-		ranks  = flag.Int("ranks", 4, "SPMD ranks of the resident cluster")
+		ranks  = flag.Int("ranks", 0, "SPMD ranks of the resident cluster (0 = the snapshot's rank count on restore, else 4)")
 		path   = flag.String("graph", "", "edge-list file to load (overrides -rmat)")
 		scale  = flag.Int("rmat", 12, "RMAT scale when no -graph is given (2^scale vertices)")
 		ef     = flag.Int("ef", 16, "RMAT edge factor")
@@ -73,16 +83,18 @@ func main() {
 		drain  = flag.Duration("drain", time.Second, "grace period after /healthz flips to 503 before the listener closes")
 		maxQ   = flag.Int("max-concurrent-queries", 0, "cap on concurrently admitted read queries (0 = unlimited)")
 		maxV   = flag.Int64("max-vertices", 1<<26, "cap on the elastic vertex space (0 = unbounded)")
+		pdir   = flag.String("persist-dir", "", "durability directory: snapshot/WAL on write, restore on boot (empty = not durable)")
+		noSync = flag.Bool("no-wal-sync", false, "skip the per-commit WAL fsync (crash-safe but not power-loss-safe)")
 	)
 	flag.Parse()
 
-	opt := tc2d.Options{Ranks: *ranks, ComputeSlots: *slots, MaxVertices: *maxV}
+	opt := tc2d.Options{Ranks: *ranks, ComputeSlots: *slots, MaxVertices: *maxV, NoWALSync: *noSync}
 	if *tcp {
 		opt.Transport = tc2d.TransportTCP
 	}
 
 	start := time.Now()
-	cluster, desc, err := buildCluster(*path, *preset, *scale, *ef, *seed, opt)
+	cluster, desc, err := openOrBuildCluster(*pdir, *path, *preset, *scale, *ef, *seed, opt)
 	if err != nil {
 		log.Fatalf("tcd: %v", err)
 	}
@@ -123,6 +135,32 @@ func main() {
 	if err := cluster.Close(); err != nil {
 		log.Printf("tcd: cluster close: %v", err)
 	}
+}
+
+// openOrBuildCluster is the restore-on-boot policy: with a persistence
+// directory that already holds a snapshot, the cluster is restored from it
+// (zero re-preprocessing; -graph/-rmat are ignored) — the rank count then
+// comes from the snapshot, so a conflicting explicit -ranks fails loudly.
+// Otherwise the graph source builds a fresh cluster, durable from its first
+// snapshot onward when -persist-dir is set.
+func openOrBuildCluster(pdir, path, preset string, scale, ef int, seed uint64, opt tc2d.Options) (*tc2d.Cluster, string, error) {
+	if pdir != "" {
+		cl, err := tc2d.OpenCluster(pdir, opt)
+		if err == nil {
+			info := cl.Info()
+			desc := fmt.Sprintf("restored from %s (snapshot seq %d, %d WAL batches replayed)",
+				pdir, info.Persist.LastSnapshotSeq, info.Persist.ReplayedBatches)
+			return cl, desc, nil
+		}
+		if !errors.Is(err, tc2d.ErrNoSnapshot) {
+			return nil, "", fmt.Errorf("restore from %s: %w", pdir, err)
+		}
+		opt.PersistDir = pdir
+	}
+	if opt.Ranks == 0 {
+		opt.Ranks = 4
+	}
+	return buildCluster(path, preset, scale, ef, seed, opt)
 }
 
 func buildCluster(path, preset string, scale, ef int, seed uint64, opt tc2d.Options) (*tc2d.Cluster, string, error) {
@@ -206,6 +244,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /count", s.handleCount)
 	mux.HandleFunc("GET /transitivity", s.handleTransitivity)
 	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -357,6 +396,28 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	t0 := time.Now()
+	info, err := s.cluster.Snapshot()
+	if err != nil {
+		s.errors.Add(1)
+		status := http.StatusInternalServerError
+		if !s.cluster.Info().Persist.Enabled {
+			status = http.StatusConflict // no -persist-dir: the request can never succeed
+		}
+		s.writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"seq":       info.Seq,
+		"path":      info.Path,
+		"bytes":     info.Bytes,
+		"triangles": info.Triangles,
+		"wall_ms":   float64(time.Since(t0).Microseconds()) / 1000,
+	})
+}
+
 func (s *server) handleTransitivity(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	release := s.admitQuery()
@@ -409,6 +470,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"write_epochs":           info.WriteEpochs,
 			"coalesced_batches":      info.CoalescedBatches,
 			"write_coalescing":       ratio(info.CoalescedBatches, info.WriteEpochs),
+		},
+		"persist": map[string]any{
+			"enabled":           info.Persist.Enabled,
+			"dir":               info.Persist.Dir,
+			"wal_seq":           info.Persist.WALSeq,
+			"wal_records":       info.Persist.WALRecords,
+			"wal_bytes":         info.Persist.WALBytes,
+			"replayed_batches":  info.Persist.ReplayedBatches,
+			"snapshots":         info.Persist.Snapshots,
+			"last_snapshot_seq": info.Persist.LastSnapshotSeq,
 		},
 		"service": map[string]any{
 			"requests": s.requests.Load(),

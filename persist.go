@@ -1,0 +1,560 @@
+package tc2d
+
+// Durability: when Options.PersistDir is set, a Cluster keeps its resident
+// state recoverable across process restarts.
+//
+//   - NewCluster writes an initial snapshot (the freshly prepared state,
+//     one checksummed blob per rank, encoded in parallel) and opens the
+//     write-ahead log.
+//   - Every coalesced super-batch the write scheduler commits is appended
+//     to the WAL — fsynced per commit unless Options.NoWALSync — BEFORE
+//     its callers are acknowledged, so an acknowledged update survives a
+//     crash.
+//   - Snapshot() (and the automatic trigger, once the WAL covers more than
+//     Options.SnapshotFraction of the resident edge count) persists the
+//     current state and rotates the WAL; a snapshot supersedes the older
+//     WAL segments, which are pruned.
+//   - OpenCluster(dir, opt) restores: newest valid snapshot, decoded in
+//     parallel — without re-running the preprocessing pipeline, so the
+//     restored cluster reports PreOps == 0 — then the WAL tail replayed
+//     through the ordinary delta-apply path. Kill-at-any-point recovery is
+//     exact: a torn WAL tail is truncated, a corrupt snapshot falls back to
+//     the previous one (whose WAL segments are retained), and counts equal
+//     what a from-scratch cluster over the mutated graph would report.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tc2d/internal/core"
+	"tc2d/internal/delta"
+	"tc2d/internal/mpi"
+	"tc2d/internal/snapshot"
+)
+
+// ErrSnapshotCorrupt marks persistent state that cannot be trusted: an
+// unknown snapshot format version, a checksum or size mismatch on a rank
+// blob or WAL record outside the torn-tail window, or a WAL sequence gap.
+// Loads fail whole — no partial state is ever installed. Test with
+// errors.Is.
+var ErrSnapshotCorrupt = snapshot.ErrCorrupt
+
+// ErrNoSnapshot is returned by OpenCluster when the persistence directory
+// holds no snapshot at all — the caller should build the cluster from its
+// graph source instead (with Options.PersistDir set, so the state becomes
+// durable from then on).
+var ErrNoSnapshot = errors.New("tc2d: persistence directory holds no snapshot")
+
+// SnapshotInfo describes one published snapshot.
+type SnapshotInfo struct {
+	// Seq is the WAL sequence the snapshot covers: the persisted state is
+	// the graph after the first Seq committed write batches.
+	Seq uint64
+	// Path is the published snapshot directory.
+	Path string
+	// Bytes is the total size of the per-rank state blobs.
+	Bytes int64
+	// Triangles is the maintained triangle total at snapshot time (-1 if no
+	// count had completed yet).
+	Triangles int64
+}
+
+// PersistInfo is the durability section of ClusterInfo. The zero value
+// means Options.PersistDir was unset.
+type PersistInfo struct {
+	Enabled bool
+	Dir     string
+	// WALSeq is the sequence number of the last committed batch; WALRecords
+	// and WALBytes count the appends performed by this process.
+	WALSeq     uint64
+	WALRecords int64
+	WALBytes   int64
+	// ReplayedBatches is how many WAL records OpenCluster replayed at boot.
+	ReplayedBatches int64
+	// Snapshots counts the snapshots written by this process;
+	// LastSnapshotSeq is the sequence the newest one covers.
+	Snapshots       int64
+	LastSnapshotSeq uint64
+}
+
+// persister is a Cluster's durability state. WAL appends happen only on the
+// write path (sched.gate held exclusively). snapMu serializes snapshot
+// creation — held across the encode epoch and the fsync'd writes, which can
+// take a while; mu guards only the counters and is held briefly, so Info()
+// (and tcd's /stats) never blocks behind an in-flight snapshot.
+type persister struct {
+	dir      string
+	snapFrac float64
+	autoSnap bool
+
+	snapMu sync.Mutex // serializes snapshotShared end to end
+
+	mu        sync.Mutex
+	wal       *snapshot.WAL
+	seq       uint64 // last committed batch sequence
+	snapSeq   uint64 // sequence covered by the newest snapshot
+	walEdges  int64  // effective edge mutations logged since that snapshot
+	replayed  int64
+	snapshots int64
+	lastInfo  *SnapshotInfo
+	failed    error // set when the WAL can no longer be trusted to be ahead
+}
+
+// brokenErr reports the retirement error, if the persister has one.
+func (p *persister) brokenErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed
+}
+
+// errNotDurable is returned by Snapshot on clusters built without
+// Options.PersistDir.
+var errNotDurable = errors.New("tc2d: cluster has no PersistDir — persistence is disabled")
+
+// snapshotRetention is how many snapshots (and their WAL segments) are kept
+// on disk: the newest plus one fallback, so a corrupt newest snapshot can
+// still recover exactly through the previous snapshot's longer WAL tail.
+const snapshotRetention = 2
+
+// encodeBatch serializes one committed super-batch for the WAL: an entry
+// count followed by (u, v, op) triples, explicitly little-endian like every
+// other persisted structure, so the directory is portable across hosts.
+func encodeBatch(batch []delta.Update) []byte {
+	b := make([]byte, 0, 4+12*len(batch))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(batch)))
+	for _, upd := range batch {
+		b = binary.LittleEndian.AppendUint32(b, uint32(upd.U))
+		b = binary.LittleEndian.AppendUint32(b, uint32(upd.V))
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(upd.Op)))
+	}
+	return b
+}
+
+func decodeBatch(b []byte) ([]delta.Update, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("tc2d: WAL record payload malformed: %w", ErrSnapshotCorrupt)
+	}
+	n := int(int32(binary.LittleEndian.Uint32(b)))
+	if n < 0 || len(b) != 4+12*n {
+		return nil, fmt.Errorf("tc2d: WAL record payload malformed: %w", ErrSnapshotCorrupt)
+	}
+	batch := make([]delta.Update, n)
+	for i := range batch {
+		off := 4 + 12*i
+		batch[i] = delta.Update{
+			U:  int32(binary.LittleEndian.Uint32(b[off:])),
+			V:  int32(binary.LittleEndian.Uint32(b[off+4:])),
+			Op: delta.Op(int32(binary.LittleEndian.Uint32(b[off+8:]))),
+		}
+	}
+	return batch, nil
+}
+
+// initPersist sets up durability on a freshly built cluster: the directory
+// must not already hold persistent state (reopen that with OpenCluster
+// instead — silently overwriting another cluster's snapshots would be data
+// loss), the WAL opens at sequence 0, and the initial snapshot of the
+// just-prepared state is published so a restart never re-runs the pipeline.
+func (cl *Cluster) initPersist(opt Options, snapFrac float64) error {
+	seqs, err := snapshot.List(opt.PersistDir)
+	if err != nil {
+		return err
+	}
+	if len(seqs) > 0 {
+		return fmt.Errorf("tc2d: PersistDir %s already holds cluster state; use OpenCluster to restore it", opt.PersistDir)
+	}
+	// No published snapshot: anything else in the directory (a WAL segment,
+	// a snapshot temp dir) is the artifact of a first boot that crashed
+	// before its initial snapshot landed — there is nothing to restore from
+	// it, so clear it and build fresh rather than brick the directory.
+	if err := snapshot.RemoveBootArtifacts(opt.PersistDir); err != nil {
+		return err
+	}
+	wal, err := snapshot.CreateWAL(opt.PersistDir, 0, 0, !opt.NoWALSync)
+	if err != nil {
+		return err
+	}
+	cl.persist = &persister{
+		dir:      opt.PersistDir,
+		snapFrac: snapFrac,
+		autoSnap: !opt.DisableAutoSnapshot,
+		wal:      wal,
+	}
+	if _, err := cl.snapshotShared(); err != nil {
+		wal.Close()
+		cl.persist = nil
+		return fmt.Errorf("tc2d: initial snapshot: %w", err)
+	}
+	return nil
+}
+
+// logCommitted appends one committed super-batch to the WAL. Called on the
+// write path with sched.gate held exclusively, after the epoch mutated the
+// resident state and before any caller is acknowledged: an acknowledged
+// batch is always durable. effEdges is the epoch's effective mutation count
+// (the auto-snapshot trigger's currency).
+func (cl *Cluster) logCommitted(batch []delta.Update, effEdges int64) error {
+	p := cl.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failed != nil {
+		return p.failed
+	}
+	if err := p.wal.Append(p.seq+1, encodeBatch(batch)); err != nil {
+		// The in-memory state now leads the durable state; further appends
+		// would persist a stream with a hole, so the WAL is retired.
+		p.failed = fmt.Errorf("tc2d: WAL append failed, cluster is no longer durable: %w", err)
+		return p.failed
+	}
+	p.seq++
+	p.walEdges += effEdges
+	return nil
+}
+
+// autoSnapshotDue evaluates the snapshot trigger after a write drain, with
+// sched.gate held exclusively (so baseM and the WAL counters are stable):
+// once the WAL has accumulated effective mutations beyond SnapshotFraction
+// of the edge count at the last build — the same staleness currency
+// RebuildFraction uses — the state should be persisted and the WAL
+// rotated. The caller then runs the snapshot under the shared gate, so
+// queries are not stalled; errors are not fatal to the write path (the WAL
+// keeps the cluster recoverable) and the next drain retries.
+func (cl *Cluster) autoSnapshotDue() bool {
+	p := cl.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed == nil && p.autoSnap && p.seq > p.snapSeq &&
+		float64(p.walEdges) > p.snapFrac*float64(cl.baseM)
+}
+
+// Snapshot persists the current resident state: every rank encodes and
+// writes its own checksummed blob in parallel inside a read epoch (queries
+// keep running; writes are excluded by the scheduler gate the caller
+// shares), the manifest is published with an atomic rename, the WAL is
+// rotated, and snapshots/segments superseded beyond the retention window
+// are pruned. Concurrent Snapshot calls serialize; calling it again with no
+// interleaving write is a no-op returning the existing snapshot. Close
+// waits for an in-flight Snapshot to finish before tearing the world down.
+func (cl *Cluster) Snapshot() (*SnapshotInfo, error) {
+	cl.sched.gate.RLock()
+	defer cl.sched.gate.RUnlock()
+	if cl.closed.Load() {
+		return nil, ErrClosed
+	}
+	if cl.persist == nil {
+		return nil, errNotDurable
+	}
+	return cl.snapshotShared()
+}
+
+// snapshotShared writes one snapshot. The caller holds sched.gate (shared
+// or exclusive) — or, during NewCluster, has not yet published the cluster
+// — so the resident state cannot change underneath the encoding epoch.
+func (cl *Cluster) snapshotShared() (*SnapshotInfo, error) {
+	p := cl.persist
+	p.snapMu.Lock()
+	defer p.snapMu.Unlock()
+	// Counter reads under the brief lock; they cannot move while we work:
+	// seq and walEdges only change on the write path, which the caller's
+	// scheduler gate excludes, and snapSeq/lastInfo only change under
+	// snapMu, which we hold.
+	p.mu.Lock()
+	if p.failed != nil {
+		err := p.failed
+		p.mu.Unlock()
+		return nil, err
+	}
+	seq := p.seq
+	if p.lastInfo != nil && seq == p.snapSeq {
+		info := *p.lastInfo
+		p.mu.Unlock()
+		return &info, nil
+	}
+	snapSeq := p.snapSeq
+	p.mu.Unlock()
+
+	// Nothing committed since the snapshot on disk (possible right after a
+	// restore, when lastInfo is not yet cached): if that snapshot still
+	// validates, adopt it instead of rewriting it — rewriting a same-seq
+	// snapshot would pass through a delete+rename window in which a crash
+	// could destroy the only copy.
+	if seq == snapSeq {
+		if m, err := snapshot.Load(p.dir, seq); err == nil {
+			info := infoFromManifest(p.dir, m)
+			p.mu.Lock()
+			p.lastInfo = &info
+			p.mu.Unlock()
+			cp := info
+			return &cp, nil
+		}
+	}
+
+	w, err := snapshot.NewWriter(p.dir, seq)
+	if err != nil {
+		return nil, err
+	}
+	prep := cl.prep
+	results, err := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
+		var blob []byte
+		c.Compute(func() { blob = core.EncodePrepared(prep[c.Rank()]) })
+		if err := w.WriteRank(c.Rank(), blob); err != nil {
+			return nil, err
+		}
+		return int64(len(blob)), nil
+	})
+	if err != nil {
+		w.Abort()
+		return nil, err
+	}
+	var bytes int64
+	for _, r := range results {
+		bytes += r.(int64)
+	}
+	qr, qc, summa := prep[0].GridShape()
+	tri := cl.lastTri.Load()
+	if err := w.Commit(snapshot.Manifest{
+		AppliedSeq:   seq,
+		Ranks:        cl.ranks,
+		SUMMA:        summa,
+		QR:           qr,
+		QC:           qc,
+		Enum:         int(cl.enum),
+		Triangles:    tri,
+		BaseM:        cl.baseM,
+		AppliedEdges: cl.appliedEdges,
+	}); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.wal.Rotate(seq); err != nil {
+		// The snapshot is published and valid, but the WAL tail cannot
+		// continue safely.
+		p.failed = fmt.Errorf("tc2d: WAL rotation after snapshot failed, cluster is no longer durable: %w", err)
+		return nil, p.failed
+	}
+	p.snapSeq = seq
+	p.walEdges = 0
+	p.snapshots++
+	snapshot.Prune(p.dir, snapshotRetention)
+	p.lastInfo = &SnapshotInfo{Seq: seq, Path: snapshot.Dir(p.dir, seq), Bytes: bytes, Triangles: tri}
+	info := *p.lastInfo
+	return &info, nil
+}
+
+// infoFromManifest rebuilds a SnapshotInfo for an already-published
+// snapshot (used when a restore or a no-op Snapshot adopts what is on
+// disk rather than writing anew).
+func infoFromManifest(dir string, m *snapshot.Manifest) SnapshotInfo {
+	var bytes int64
+	for _, rf := range m.RankFiles {
+		bytes += rf.Size
+	}
+	return SnapshotInfo{Seq: m.AppliedSeq, Path: snapshot.Dir(dir, m.AppliedSeq), Bytes: bytes, Triangles: m.Triangles}
+}
+
+// persistInfo snapshots the durability stats for ClusterInfo.
+func (cl *Cluster) persistInfo() PersistInfo {
+	p := cl.persist
+	if p == nil {
+		return PersistInfo{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	records, bytes := p.wal.Stats()
+	return PersistInfo{
+		Enabled:         true,
+		Dir:             p.dir,
+		WALSeq:          p.seq,
+		WALRecords:      records,
+		WALBytes:        bytes,
+		ReplayedBatches: p.replayed,
+		Snapshots:       p.snapshots,
+		LastSnapshotSeq: p.snapSeq,
+	}
+}
+
+// closePersist releases the WAL handle after the world has come down.
+func (cl *Cluster) closePersist() {
+	if cl.persist == nil {
+		return
+	}
+	p := cl.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal.Close()
+}
+
+// OpenCluster restores a resident cluster from a persistence directory
+// written by a previous process: the newest valid snapshot is loaded — each
+// rank reads and decodes its own checksummed blob in parallel; the
+// preprocessing pipeline does NOT re-run, so the restored cluster reports
+// PreOps == 0 — and the WAL tail beyond the snapshot is replayed through
+// the ordinary delta-apply path, reproducing exactly the state of every
+// batch acknowledged before the previous process died. A torn record at
+// the WAL tail (a crash mid-append) is truncated; a corrupt newest
+// snapshot falls back to the previous one, whose WAL segments the
+// retention policy kept. Unrecoverable damage fails with
+// ErrSnapshotCorrupt; an empty directory with ErrNoSnapshot.
+//
+// The world shape (rank count, grid schedule, enumeration rule) comes from
+// the snapshot manifest; opt supplies everything else (transport, rebuild
+// and snapshot policy, MaxVertices, cost model). A non-zero opt.Ranks or
+// opt.Enumeration conflicting with the manifest is an error.
+// opt.PersistDir is ignored: dir is the persistence directory, and the
+// reopened cluster continues appending to its WAL.
+func OpenCluster(dir string, opt Options) (*Cluster, error) {
+	frac, err := opt.rebuildFraction()
+	if err != nil {
+		return nil, err
+	}
+	snapFrac, err := opt.snapshotFraction()
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxVertices < 0 {
+		return nil, fmt.Errorf("tc2d: MaxVertices=%d must be non-negative", opt.MaxVertices)
+	}
+	seqs, err := snapshot.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoSnapshot, dir)
+	}
+
+	// Newest valid snapshot: try manifests newest-first; a candidate whose
+	// manifest or rank blobs fail validation falls through to the one
+	// before — and is deleted, so the retention policy never counts a
+	// known-corrupt snapshot toward its quota (keeping it could evict the
+	// valid fallback on the next Prune). Its data is unreadable by
+	// construction (failed checksums), so nothing recoverable is lost.
+	var lastErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		m, err := snapshot.Load(dir, seqs[i])
+		if err == nil {
+			var cl *Cluster
+			cl, err = openFromManifest(dir, m, opt, frac, snapFrac)
+			if err == nil {
+				return cl, nil
+			}
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				return nil, err
+			}
+		}
+		lastErr = err
+		if i > 0 {
+			// Only once a fallback remains: a sole corrupt snapshot is
+			// kept for post-mortem rather than silently erased.
+			snapshot.Remove(dir, seqs[i])
+		}
+	}
+	return nil, lastErr
+}
+
+// openFromManifest restores from one validated manifest: decode every rank
+// blob in parallel, replay the WAL tail, and hand back a serving cluster.
+func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapFrac float64) (*Cluster, error) {
+	if opt.Ranks != 0 && opt.Ranks != m.Ranks {
+		return nil, fmt.Errorf("tc2d: snapshot was taken on %d ranks, Options.Ranks=%d", m.Ranks, opt.Ranks)
+	}
+	if opt.Enumeration != 0 && int(opt.Enumeration) != m.Enum {
+		return nil, fmt.Errorf("tc2d: snapshot was prepared for %v, Options ask for %v",
+			Enumeration(m.Enum), opt.Enumeration)
+	}
+	world, err := opt.newWorld(m.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	prep := make([]*core.Prepared, m.Ranks)
+	_, err = world.Run(func(c *mpi.Comm) (any, error) {
+		blob, err := snapshot.ReadRank(dir, m, c.Rank())
+		if err != nil {
+			return nil, err
+		}
+		var pr *core.Prepared
+		var derr error
+		c.Compute(func() { pr, derr = core.DecodePrepared(blob, c.Rank(), m.Ranks) })
+		if derr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, derr)
+		}
+		prep[c.Rank()] = pr
+		return nil, nil
+	})
+	if err != nil {
+		world.Close()
+		return nil, err
+	}
+
+	cl := &Cluster{
+		world:           world,
+		prep:            prep,
+		enum:            Enumeration(m.Enum),
+		ranks:           m.Ranks,
+		transport:       opt.Transport,
+		sched:           newScheduler(),
+		rebuildFraction: frac,
+		autoRebuild:     !opt.DisableAutoRebuild,
+		maxVertices:     opt.MaxVertices,
+		baseM:           m.BaseM,
+		appliedEdges:    m.AppliedEdges,
+	}
+	cl.lastTri.Store(m.Triangles)
+
+	// Replay the WAL tail through the ordinary delta-apply path. Layout
+	// refreshes (rebuilds) are deliberately NOT replayed — delta counting
+	// is exact on any layout — so restore performs zero preprocessing; the
+	// carried-over staleness counters let the next live write drain trigger
+	// a rebuild if one is due.
+	var replayed, walEdges int64
+	last, newestBase, haveSegments, err := snapshot.Replay(dir, m.AppliedSeq, func(seq uint64, payload []byte) error {
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			return err
+		}
+		results, err := world.Run(func(c *mpi.Comm) (any, error) {
+			return delta.Apply(c, prep[c.Rank()], batch)
+		})
+		if err != nil {
+			return fmt.Errorf("tc2d: WAL replay of batch %d: %w", seq, err)
+		}
+		res := results[0].(*delta.Result)
+		if cl.lastTri.Load() >= 0 {
+			cl.lastTri.Add(res.DeltaTriangles)
+		}
+		eff := int64(res.Inserted + res.Deleted)
+		cl.appliedEdges += eff
+		walEdges += eff
+		replayed++
+		return nil
+	})
+	if err != nil {
+		world.Close()
+		return nil, err
+	}
+	if !haveSegments {
+		newestBase = m.AppliedSeq
+	}
+	wal, err := snapshot.CreateWAL(dir, newestBase, last, !opt.NoWALSync)
+	if err != nil {
+		world.Close()
+		return nil, err
+	}
+	restoredInfo := infoFromManifest(dir, m)
+	cl.persist = &persister{
+		dir:      dir,
+		snapFrac: snapFrac,
+		autoSnap: !opt.DisableAutoSnapshot,
+		wal:      wal,
+		seq:      last,
+		snapSeq:  m.AppliedSeq,
+		walEdges: walEdges,
+		replayed: replayed,
+		lastInfo: &restoredInfo,
+	}
+	go cl.writeLoop()
+	return cl, nil
+}

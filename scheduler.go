@@ -126,7 +126,19 @@ func (cl *Cluster) writeLoop() {
 		s.queue = nil
 		s.mu.Unlock()
 		pending = cl.drainOnce(pending)
+		// The snapshot trigger is evaluated inside the exclusive window
+		// (baseM and the WAL counters are stable here) but the snapshot
+		// itself runs under the SHARED gate below, like an explicit
+		// Snapshot call: queries keep flowing while the ranks encode.
+		autoSnap := cl.persist != nil && cl.autoSnapshotDue()
 		s.gate.Unlock()
+		if autoSnap {
+			s.gate.RLock()
+			if !cl.closed.Load() {
+				cl.snapshotShared()
+			}
+			s.gate.RUnlock()
+		}
 	}
 }
 
@@ -286,6 +298,16 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 			req.finish()
 		}
 	}
+	// A retired persister (earlier WAL failure) must reject writes BEFORE
+	// the epoch runs: applying them would mutate the resident graph while
+	// reporting an error, silently widening the gap between the in-memory
+	// and durable states.
+	if cl.persist != nil {
+		if perr := cl.persist.brokenErr(); perr != nil {
+			failAll(perr)
+			return
+		}
+	}
 	// Delta maintenance needs an exact base count.
 	if cl.lastTri.Load() < 0 {
 		if _, err := cl.countEpoch(QueryOptions{}); err != nil {
@@ -311,6 +333,21 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 	cl.updates.Add(int64(len(accepted)))
 	total := cl.lastTri.Add(epochRes.DeltaTriangles)
 	cl.appliedEdges += int64(epochRes.Inserted + epochRes.Deleted)
+
+	// Durability barrier: the committed super-batch must be in the WAL
+	// before any caller is acknowledged, so an acked update survives a
+	// crash. An append failure leaves the in-memory state ahead of the
+	// durable state; the callers are failed (their batch DID apply, but its
+	// durability cannot be promised) and the persister retires itself.
+	if cl.persist != nil {
+		if perr := cl.logCommitted(super, int64(epochRes.Inserted+epochRes.Deleted)); perr != nil {
+			for _, req := range accepted {
+				req.err = perr
+				req.finish()
+			}
+			return
+		}
+	}
 
 	// Demultiplex: each caller gets the shared epoch-level totals plus its
 	// own effective/skip and vertex-space accounting. A duplicate edge (or
