@@ -107,8 +107,26 @@ type Options struct {
 	NoDirectHash   bool
 	NoEarlyBreak   bool
 	NoBlob         bool
+	// NoAdaptiveIntersect disables the per-(row, col) merge/hash selection
+	// of the intersection kernel and always uses the hash probe — the new
+	// ablation toggle, in the same kill-switch style as the paper's four.
+	NoAdaptiveIntersect bool
 	// TrackPerShift records per-shift kernel times in the Result.
 	TrackPerShift bool
+
+	// KernelThreads is the number of worker goroutines each rank fans one
+	// compute step's intersection work across, on top of the inter-rank 2D
+	// decomposition: task rows are split into weight-balanced buckets
+	// (weight = Σ min(|U-row|, |L-col|) over the row's tasks, assigned
+	// longest-processing-time first) and every worker owns a pooled hash
+	// set plus private counters summed deterministically afterwards, so
+	// the triangle count and every Result counter are exact at any thread
+	// count. 0 (the default) selects min(GOMAXPROCS, NumCPU); 1 runs the
+	// sequential kernel; negative values are rejected. For resident
+	// clusters the value also becomes the write path's delta-pass
+	// parallelism. For contention-free virtual-time measurements combine
+	// KernelThreads=1 with ComputeSlots=1.
+	KernelThreads int
 
 	// RebuildFraction controls write-path staleness for resident clusters:
 	// once the effective updates applied since the last build exceed this
@@ -176,13 +194,23 @@ type Options struct {
 
 func (o Options) coreOptions() core.Options {
 	return core.Options{
-		Enumeration:    o.Enumeration,
-		NoDoublySparse: o.NoDoublySparse,
-		NoDirectHash:   o.NoDirectHash,
-		NoEarlyBreak:   o.NoEarlyBreak,
-		NoBlob:         o.NoBlob,
-		TrackPerShift:  o.TrackPerShift,
+		Enumeration:         o.Enumeration,
+		NoDoublySparse:      o.NoDoublySparse,
+		NoDirectHash:        o.NoDirectHash,
+		NoEarlyBreak:        o.NoEarlyBreak,
+		NoBlob:              o.NoBlob,
+		NoAdaptiveIntersect: o.NoAdaptiveIntersect,
+		TrackPerShift:       o.TrackPerShift,
+		KernelThreads:       o.KernelThreads,
 	}
+}
+
+// kernelThreads validates Options.KernelThreads (0 = host default).
+func (o Options) kernelThreads() (int, error) {
+	if o.KernelThreads < 0 {
+		return 0, fmt.Errorf("tc2d: KernelThreads=%d must be non-negative (0 = min(GOMAXPROCS, NumCPU))", o.KernelThreads)
+	}
+	return o.KernelThreads, nil
 }
 
 func (o Options) mpiConfig() mpi.Config {
@@ -297,6 +325,9 @@ func CountRMAT(params RMATParams, scale, edgeFactor int, seed uint64, opt Option
 func countInput(in dgraph.Input, opt Options) (*Result, error) {
 	p, err := opt.ranks()
 	if err != nil {
+		return nil, err
+	}
+	if _, err := opt.kernelThreads(); err != nil {
 		return nil, err
 	}
 	world, err := opt.newWorld(p)

@@ -23,23 +23,40 @@ var ErrClusterClosed = ErrClosed
 // cost model) is fixed at NewCluster time. The zero value runs the paper's
 // fully optimized kernel.
 type QueryOptions struct {
-	// Optimization kill switches, as in Options.
-	NoDoublySparse bool
-	NoDirectHash   bool
-	NoEarlyBreak   bool
-	NoBlob         bool
+	// Optimization kill switches, as in Options. NoAdaptiveIntersect
+	// composes with the cluster's standing default: it can disable the
+	// adaptive intersection for one query but not re-enable it on a
+	// cluster built with Options.NoAdaptiveIntersect.
+	NoDoublySparse      bool
+	NoDirectHash        bool
+	NoEarlyBreak        bool
+	NoBlob              bool
+	NoAdaptiveIntersect bool
 	// TrackPerShift records per-shift kernel times in the Result.
 	TrackPerShift bool
+	// KernelThreads overrides the cluster's intra-rank kernel parallelism
+	// for this query (0 = the cluster's Options.KernelThreads; negative
+	// values are rejected by Count).
+	KernelThreads int
 }
 
-func (q QueryOptions) coreOptions(enum Enumeration) core.Options {
+// coreOptions resolves one query against the cluster's standing kernel
+// defaults. The struct stays comparable: identical concurrent queries share
+// one epoch through the flights map.
+func (cl *Cluster) queryCoreOptions(q QueryOptions) core.Options {
+	threads := q.KernelThreads
+	if threads == 0 {
+		threads = cl.kernelThreads
+	}
 	return core.Options{
-		Enumeration:    enum,
-		NoDoublySparse: q.NoDoublySparse,
-		NoDirectHash:   q.NoDirectHash,
-		NoEarlyBreak:   q.NoEarlyBreak,
-		NoBlob:         q.NoBlob,
-		TrackPerShift:  q.TrackPerShift,
+		Enumeration:         cl.enum,
+		NoDoublySparse:      q.NoDoublySparse,
+		NoDirectHash:        q.NoDirectHash,
+		NoEarlyBreak:        q.NoEarlyBreak,
+		NoBlob:              q.NoBlob,
+		NoAdaptiveIntersect: q.NoAdaptiveIntersect || cl.noAdaptive,
+		TrackPerShift:       q.TrackPerShift,
+		KernelThreads:       threads,
 	}
 }
 
@@ -84,6 +101,14 @@ type ClusterInfo struct {
 	WriteEpochs      int64
 	CoalescedBatches int64
 	QueueDepth       int64
+	// KernelThreads is the resolved per-rank kernel worker count queries
+	// and write epochs default to; MapTasks and MergeTasks accumulate the
+	// intersection-pair counts of completed count epochs (MergeTasks pairs
+	// took the sorted-merge path, MapTasks - MergeTasks the hash path), so
+	// their ratio is the cluster's observed merge/hash task split.
+	KernelThreads int
+	MapTasks      int64
+	MergeTasks    int64
 	// PreOps and PreprocessTime describe the one-time preprocessing that
 	// built the resident state; CommFracPre its communication fraction.
 	// Both are zero on a cluster restored by OpenCluster: a restore decodes
@@ -126,6 +151,14 @@ type Cluster struct {
 	readEpochs atomic.Int64
 	updates    atomic.Int64
 	rebuilds   atomic.Int64
+	mapTasks   atomic.Int64 // intersection pairs of completed count epochs
+	mergeTasks atomic.Int64 // the subset that took the merge path
+
+	// Standing kernel defaults from Options, immutable after construction:
+	// queries resolve KernelThreads=0 against kernelThreads, and the write
+	// path's delta passes read the same config off each Prepared value.
+	kernelThreads int
+	noAdaptive    bool
 	lastTri    atomic.Int64 // maintained triangle count, -1 until first query
 	closed     atomic.Bool
 	closeOnce  sync.Once
@@ -178,6 +211,10 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 	if opt.MaxVertices < 0 {
 		return nil, fmt.Errorf("tc2d: MaxVertices=%d must be non-negative", opt.MaxVertices)
 	}
+	kthreads, err := opt.kernelThreads()
+	if err != nil {
+		return nil, err
+	}
 	world, err := opt.newWorld(p)
 	if err != nil {
 		return nil, err
@@ -199,6 +236,7 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		pr.SetKernelConfig(kthreads, opt.NoAdaptiveIntersect)
 		prep[c.Rank()] = pr
 		return nil, nil
 	})
@@ -217,6 +255,8 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 		autoRebuild:     !opt.DisableAutoRebuild,
 		maxVertices:     opt.MaxVertices,
 		baseM:           prep[0].M(),
+		kernelThreads:   kthreads,
+		noAdaptive:      opt.NoAdaptiveIntersect,
 	}
 	cl.lastTri.Store(-1)
 	if opt.PersistDir != "" {
@@ -243,6 +283,9 @@ func (cl *Cluster) Count(q QueryOptions) (*Result, error) {
 	defer cl.sched.gate.RUnlock()
 	if cl.closed.Load() {
 		return nil, ErrClosed
+	}
+	if q.KernelThreads < 0 {
+		return nil, fmt.Errorf("tc2d: KernelThreads=%d must be non-negative", q.KernelThreads)
 	}
 	res, err := cl.countShared(q)
 	if err != nil {
@@ -281,7 +324,7 @@ func (cl *Cluster) countShared(q QueryOptions) (*Result, error) {
 // countEpoch runs one counting epoch as a read epoch on the world. The
 // caller holds sched.gate.
 func (cl *Cluster) countEpoch(q QueryOptions) (*Result, error) {
-	copt := q.coreOptions(cl.enum)
+	copt := cl.queryCoreOptions(q)
 	prep := cl.prep
 	results, err := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
 		return core.CountPrepared(c, prep[c.Rank()], copt)
@@ -291,6 +334,8 @@ func (cl *Cluster) countEpoch(q QueryOptions) (*Result, error) {
 	}
 	res := results[0].(*core.Result)
 	cl.lastTri.Store(res.Triangles)
+	cl.mapTasks.Add(res.MapTasks)
+	cl.mergeTasks.Add(res.MergeTasks)
 	return res, nil
 }
 
@@ -351,6 +396,9 @@ func (cl *Cluster) Info() ClusterInfo {
 		WriteEpochs:      cl.sched.writeEpochs.Load(),
 		CoalescedBatches: cl.sched.absorbed.Load(),
 		QueueDepth:       cl.sched.depth.Load(),
+		KernelThreads:    cl.prep[0].KernelWorkers(),
+		MapTasks:         cl.mapTasks.Load(),
+		MergeTasks:       cl.mergeTasks.Load(),
 		PreOps:           p0.PreOps(),
 		PreprocessTime:   p0.PreprocessTime(),
 		CommFracPre:      p0.CommFracPre(),

@@ -7,7 +7,7 @@
 //	tcbench -exp table5 -ranks 16,25,36
 //
 // Experiments: table1 table2 fig1 fig2 fig3 table3 table4 table5 table6
-// ablation probes updates concurrent growth. -delta shifts every dataset scale
+// ablation probes updates concurrent growth kernel. -delta shifts every dataset scale
 // (negative = smaller/faster). "updates" is the mixed read/write scenario:
 // a resident cluster absorbs batches of edge updates (delta counting, no
 // rebuild) interleaved with full count queries, reporting update
@@ -19,8 +19,13 @@
 // scenario: arrival batches keep wiring brand-new vertex ids into the
 // resident cluster (no rebuild on the hot path), sweeping apply cost
 // against overflow fraction, then one fold rebuild restores the cyclic
-// layout. All three always run when -json is given; their rows land in the
-// update_runs, concurrent_runs and growth_runs sections (schema v4).
+// layout. "kernel" is the intra-rank parallel-kernel scenario: one
+// resident state, counting epochs swept over kernel worker counts
+// (1 → NumCPU) × intersection modes (adaptive merge/hash selection vs
+// hash-only), reporting wall-time speedup per worker count and the
+// probe/task counters that prove exactness. All four always run when
+// -json is given; their rows land in the update_runs, concurrent_runs,
+// growth_runs and kernel_runs sections (schema v5).
 // Modeled parallel times come from the runtime's LogGP-style virtual clocks;
 // see DESIGN.md for the calibration discussion.
 package main
@@ -61,6 +66,9 @@ func main() {
 		gRanks   = flag.String("growth-ranks", "4,9", "rank counts for the growth scenario")
 		gBatch   = flag.Int("growth-batch", 256, "edges per arrival batch in the growth scenario")
 		gBatches = flag.Int("growth-batches", 8, "arrival batches per point in the growth scenario")
+
+		kRanks   = flag.Int("kernel-ranks", 4, "rank count for the kernel scenario")
+		kThreads = flag.String("kernel-threads", "", "comma-separated kernel worker schedule (default: powers of two up to NumCPU)")
 	)
 	flag.Parse()
 
@@ -156,13 +164,31 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The kernel scenario feeds the "kernel" table and the -json record:
+	// worker-count × intersection-mode sweep over one resident state.
+	var kernelRows []harness.KernelRow
+	if sel("kernel") || *jsonTo != "" {
+		sched := harness.KernelThreadSchedule()
+		if *kThreads != "" {
+			sched = parseInts(*kThreads)
+		}
+		if *detail {
+			fmt.Fprintf(os.Stderr, "tcbench: running kernel scenario (ranks %d, threads %v)...\n", *kRanks, sched)
+		}
+		var err error
+		kernelRows, err = harness.RunKernel(specs[0], *kRanks, sched, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: kernel scenario: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonTo != "" {
 		f, err := os.Create(*jsonTo)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, growthRows, cfg); err != nil {
+		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, growthRows, kernelRows, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: write json: %v\n", err)
 			os.Exit(1)
 		}
@@ -171,11 +197,12 @@ func main() {
 			os.Exit(1)
 		}
 		if *detail {
-			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update + %d concurrent + %d growth runs to %s\n",
-				len(rows), len(updRows), len(concRows), len(growthRows), *jsonTo)
+			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update + %d concurrent + %d growth + %d kernel runs to %s\n",
+				len(rows), len(updRows), len(concRows), len(growthRows), len(kernelRows), *jsonTo)
 		}
 	}
 	step("updates", func() error { return harness.TableUpdates(w, updRows) })
+	step("kernel", func() error { return harness.TableKernel(w, kernelRows) })
 	step("concurrent", func() error { return harness.TableConcurrent(w, concRows) })
 	step("growth", func() error { return harness.TableGrowth(w, growthRows) })
 	step("table2", func() error { return harness.Table2(w, rows) })

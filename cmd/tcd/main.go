@@ -30,7 +30,10 @@
 // Endpoints:
 //
 //	GET  /count        — triangle count (query params: nodoublysparse,
-//	                     nodirecthash, noearlybreak, noblob, any of =1/true)
+//	                     nodirecthash, noearlybreak, noblob,
+//	                     noadaptiveintersect, any of =1/true;
+//	                     kernelthreads=N overrides the per-rank kernel
+//	                     worker count for this query)
 //	GET  /transitivity — global clustering coefficient
 //	POST /update       — apply a batch of edge and vertex mutations:
 //	                     {"updates":[{"u":1,"v":2,"op":"insert"},
@@ -85,10 +88,11 @@ func main() {
 		maxV   = flag.Int64("max-vertices", 1<<26, "cap on the elastic vertex space (0 = unbounded)")
 		pdir   = flag.String("persist-dir", "", "durability directory: snapshot/WAL on write, restore on boot (empty = not durable)")
 		noSync = flag.Bool("no-wal-sync", false, "skip the per-commit WAL fsync (crash-safe but not power-loss-safe)")
+		kthr   = flag.Int("kernel-threads", 0, "intra-rank kernel workers per rank (0 = min(GOMAXPROCS, NumCPU))")
 	)
 	flag.Parse()
 
-	opt := tc2d.Options{Ranks: *ranks, ComputeSlots: *slots, MaxVertices: *maxV, NoWALSync: *noSync}
+	opt := tc2d.Options{Ranks: *ranks, ComputeSlots: *slots, MaxVertices: *maxV, NoWALSync: *noSync, KernelThreads: *kthr}
 	if *tcp {
 		opt.Transport = tc2d.TransportTCP
 	}
@@ -290,10 +294,21 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 	release := s.admitQuery()
 	defer release()
 	q := tc2d.QueryOptions{
-		NoDoublySparse: boolParam(r, "nodoublysparse"),
-		NoDirectHash:   boolParam(r, "nodirecthash"),
-		NoEarlyBreak:   boolParam(r, "noearlybreak"),
-		NoBlob:         boolParam(r, "noblob"),
+		NoDoublySparse:      boolParam(r, "nodoublysparse"),
+		NoDirectHash:        boolParam(r, "nodirecthash"),
+		NoEarlyBreak:        boolParam(r, "noearlybreak"),
+		NoBlob:              boolParam(r, "noblob"),
+		NoAdaptiveIntersect: boolParam(r, "noadaptiveintersect"),
+	}
+	if v := r.URL.Query().Get("kernelthreads"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.errors.Add(1)
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("kernelthreads=%q must be a non-negative integer", v)})
+			return
+		}
+		q.KernelThreads = n
 	}
 	t0 := time.Now()
 	res, err := s.cluster.Count(q)
@@ -306,6 +321,9 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 		"n":               res.N,
 		"m":               res.M,
 		"probes":          res.Probes,
+		"map_tasks":       res.MapTasks,
+		"merge_tasks":     res.MergeTasks,
+		"kernel_threads":  res.KernelThreads,
 		"count_time_s":    res.CountTime,
 		"comm_frac_count": res.CommFracCount,
 		"wall_ms":         float64(time.Since(t0).Microseconds()) / 1000,
@@ -470,6 +488,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"write_epochs":           info.WriteEpochs,
 			"coalesced_batches":      info.CoalescedBatches,
 			"write_coalescing":       ratio(info.CoalescedBatches, info.WriteEpochs),
+		},
+		"kernel": map[string]any{
+			"threads":     info.KernelThreads,
+			"map_tasks":   info.MapTasks,
+			"merge_tasks": info.MergeTasks,
+			"hash_tasks":  info.MapTasks - info.MergeTasks,
+			"merge_frac":  ratio(info.MergeTasks, info.MapTasks),
 		},
 		"persist": map[string]any{
 			"enabled":           info.Persist.Enabled,

@@ -23,7 +23,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := tc2d.Count(g, tc2d.Options{Ranks: 4})
+	// KernelThreads: 2 fans each rank's intersection work across two
+	// worker goroutines (0 would mean one worker per core); the counts
+	// and counters are exact at any setting.
+	res, err := tc2d.Count(g, tc2d.Options{Ranks: 4, KernelThreads: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,4 +36,6 @@ func main() {
 	fmt.Printf("triangles (sequential check):     %d\n", tc2d.CountSequential(g))
 	fmt.Printf("preprocessing %.3gs + counting %.3gs under the network cost model\n",
 		res.PreprocessTime, res.CountTime)
+	fmt.Printf("kernel: %d workers/rank, %d intersections (%d merge-path, %d hash-path, %d probes)\n",
+		res.KernelThreads, res.MapTasks, res.MergeTasks, res.MapTasks-res.MergeTasks, res.Probes)
 }

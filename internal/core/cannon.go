@@ -16,8 +16,7 @@ import (
 // C[task_{x,y}] = Σ_z U_{x,(x+y+z)%q} · L_{(x+y+z)%q,y}.
 func cannonCount(c *mpi.Comm, grid *mpi.Grid, blk *blocks, opt Options) (kernelCounters, []float64) {
 	q := grid.Q()
-	set := newKernelSet(blk)
-	var kc kernelCounters
+	pool := newKernelPool(kernelCapHint(blk), opt.kernelWorkers())
 	perShift := make([]float64, 0, q)
 
 	// Current operand blocks, starting from the owned ones.
@@ -56,7 +55,7 @@ func cannonCount(c *mpi.Comm, grid *mpi.Grid, blk *blocks, opt Options) (kernelC
 			l := cscBlock{cols: lDim, xadj: lX, adj: lA}
 			before := c.Stats().CompTime
 			c.Compute(func() {
-				runKernel(&blk.task, blk.taskRows, &u, &l, set, opt, &kc)
+				pool.run(&blk.task, blk.taskRows, &u, &l, opt)
 			})
 			perShift = append(perShift, c.Stats().CompTime-before)
 			if z < q-1 {
@@ -64,7 +63,7 @@ func cannonCount(c *mpi.Comm, grid *mpi.Grid, blk *blocks, opt Options) (kernelC
 				lDim, lX, lA = shiftNaive(false, 1, kindL, lDim, lX, lA)
 			}
 		}
-		return kc, perShift
+		return pool.total(), perShift
 	}
 
 	// Blob path (§5.2): each block travels as a single pre-packed byte
@@ -84,7 +83,7 @@ func cannonCount(c *mpi.Comm, grid *mpi.Grid, blk *blocks, opt Options) (kernelC
 		l := cscBlock{cols: lDim, xadj: lX, adj: lA}
 		before := c.Stats().CompTime
 		c.Compute(func() {
-			runKernel(&blk.task, blk.taskRows, &u, &l, set, opt, &kc)
+			pool.run(&blk.task, blk.taskRows, &u, &l, opt)
 		})
 		perShift = append(perShift, c.Stats().CompTime-before)
 		if z < q-1 {
@@ -92,5 +91,5 @@ func cannonCount(c *mpi.Comm, grid *mpi.Grid, blk *blocks, opt Options) (kernelC
 			lblob = grid.ShiftColUp(lblob, 1)
 		}
 	}
-	return kc, perShift
+	return pool.total(), perShift
 }

@@ -16,6 +16,7 @@ package core
 // lets the epoch scheduler run counting queries concurrently.
 
 import (
+	"fmt"
 	"sort"
 
 	"tc2d/internal/mpi"
@@ -347,8 +348,32 @@ func (p *Prepared) spliceSUMMA(rank int, ins, del [][2]int32) {
 	}
 }
 
+// ValidateKernelSizing asserts the invariant the pooled kernel sets rely
+// on: the resident maxURow — the value kernelCapHint/summaCapHint size
+// every per-worker hash set from — is at least the actual longest local U
+// row, globally. GrowTo preserves it for free (it only appends empty rows),
+// and Splice refreshes it with an allreduce after every mutation; this
+// re-derives the maximum from the blocks and fails if the resident value
+// ever falls behind. All ranks must call it collectively (one allreduce).
+func (p *Prepared) ValidateKernelSizing(c *mpi.Comm) error {
+	var local int64
+	c.Compute(func() { local = p.localMaxURow() })
+	actual := c.AllreduceInt64(local, mpi.OpMax)
+	var resident int64
+	switch {
+	case p.blk != nil:
+		resident = p.blk.maxURow
+	case p.sblk != nil:
+		resident = p.sblk.maxURow
+	}
+	if actual > resident {
+		return fmt.Errorf("core: resident maxURow %d fell behind actual longest U row %d — kernel set sizing bound violated", resident, actual)
+	}
+	return nil
+}
+
 // localMaxURow scans the resident U structure for the longest row — the
-// quantity newKernelSet sizes the intersection map by.
+// quantity kernelCapHint sizes the intersection maps by.
 func (p *Prepared) localMaxURow() int64 {
 	var max int64
 	scan := func(b *csrBlock) {

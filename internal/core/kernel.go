@@ -1,88 +1,311 @@
 package core
 
-import "tc2d/internal/hashset"
+import (
+	"runtime"
+	"sort"
+	"sync"
 
-// kernelCounters accumulates the instrumentation the paper reports.
+	"tc2d/internal/hashset"
+)
+
+// kernelCounters accumulates the instrumentation the paper reports. Every
+// field is a pure sum over (row, task) pairs, so any partitioning of the
+// pairs across workers reproduces the same totals.
 type kernelCounters struct {
-	triangles int64
-	probes    int64 // hash-map lookups (Fig 2's tct ops; §7.1's probe metric)
-	mapTasks  int64 // (task, shift) pairs that ran a map intersection (Table 4)
+	triangles  int64
+	probes     int64 // hash-map lookups (Fig 2's tct ops; §7.1's probe metric)
+	mapTasks   int64 // (task, shift) pairs that ran a set intersection (Table 4)
+	mergeTasks int64 // the subset of mapTasks intersected by sorted merge
+	mergeOps   int64 // pointer advances performed by merge intersections
 }
 
-// runKernel counts the triangles contributed by one Cannon shift: for every
-// task (a, b) — local row a, local column b — hash the current U-block row a
-// once and probe the current L-block column b against it (map-based
-// intersection, §3.1/§5.1). Every hit is one triangle.
+func (kc *kernelCounters) add(o kernelCounters) {
+	kc.triangles += o.triangles
+	kc.probes += o.probes
+	kc.mapTasks += o.mapTasks
+	kc.mergeTasks += o.mergeTasks
+	kc.mergeOps += o.mergeOps
+}
+
+// mergeRatio is the length-skew bound of the adaptive intersection: a
+// (row, col) pair whose list lengths are within this factor of each other is
+// intersected with the sorted-merge scan (TC-Merge — linear, cache-friendly,
+// no hashing); more skewed pairs keep the hash probe (TC-Hash), whose cost
+// is bounded by the shorter probe list alone.
+const mergeRatio = 4
+
+// useMerge reports whether the adaptive kernel picks the sorted-merge scan
+// for a pair with list lengths lu and lc.
+func useMerge(lu, lc int) bool {
+	return lu <= mergeRatio*lc && lc <= mergeRatio*lu
+}
+
+// mergeIntersect counts the common keys of two ascending-sorted lists with a
+// two-pointer scan. Each pointer advance is one mergeOp.
+func mergeIntersect(urow, col []int32, kc *kernelCounters) {
+	i, j := 0, 0
+	for i < len(urow) && j < len(col) {
+		kc.mergeOps++
+		a, b := urow[i], col[j]
+		switch {
+		case a == b:
+			kc.triangles++
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// kernelRow runs one task row of one compute step: hash the U-block row a
+// once (lazily — only if some pair takes the hash path) and intersect the
+// L-block column of every task against it (map-based intersection,
+// §3.1/§5.1). Every hit is one triangle.
 //
-// Optimizations (§5.2), each toggleable:
-//   - doubly-sparse traversal: iterate only non-empty task rows;
+// Optimizations (§5.2 plus the adaptive extension), each toggleable:
 //   - direct hashing: when the row's largest key fits under the map mask,
 //     insert/lookup with a single bitwise AND, no probing;
 //   - early break: probe the (ascending sorted) column backwards and stop
-//     at the first key below the hashed row's minimum.
-func runKernel(task *csrBlock, taskRows []int32, u *csrBlock, l *cscBlock, set *hashset.Set, opt Options, kc *kernelCounters) {
-	mask := set.Mask()
-	iterate := func(a int32) {
-		tcols := task.row(a)
-		if len(tcols) == 0 {
-			return
-		}
-		urow := u.row(a)
-		if len(urow) == 0 {
-			// No U entries for this row in the current residue class:
-			// nothing can intersect this shift.
-			return
-		}
-		direct := !opt.NoDirectHash && urow[len(urow)-1] <= mask
-		set.Reset(direct)
-		for _, k := range urow {
-			set.Insert(k)
-		}
-		minKey := urow[0] // rows are sorted ascending
-		for _, b := range tcols {
-			col := l.col(b)
-			if len(col) == 0 {
-				continue
-			}
-			kc.mapTasks++
-			if !opt.NoEarlyBreak {
-				for idx := len(col) - 1; idx >= 0; idx-- {
-					k := col[idx]
-					if k < minKey {
-						break
-					}
-					kc.probes++
-					if set.Contains(k) {
-						kc.triangles++
-					}
-				}
-			} else {
-				for _, k := range col {
-					kc.probes++
-					if set.Contains(k) {
-						kc.triangles++
-					}
-				}
-			}
-		}
+//     at the first key below the hashed row's minimum;
+//   - adaptive intersection: switch to a sorted-merge scan when the two
+//     lists are within mergeRatio of each other in length.
+func kernelRow(a int32, task *csrBlock, u *csrBlock, l *cscBlock, set *hashset.Set, opt Options, kc *kernelCounters) {
+	tcols := task.row(a)
+	if len(tcols) == 0 {
+		return
 	}
-	if !opt.NoDoublySparse {
-		for _, a := range taskRows {
-			iterate(a)
+	urow := u.row(a)
+	if len(urow) == 0 {
+		// No U entries for this row in the current residue class:
+		// nothing can intersect this shift.
+		return
+	}
+	mask := set.Mask()
+	adaptive := !opt.NoAdaptiveIntersect
+	built := false
+	minKey := urow[0] // rows are sorted ascending
+	for _, b := range tcols {
+		col := l.col(b)
+		if len(col) == 0 {
+			continue
 		}
-	} else {
-		for a := int32(0); a < task.rows; a++ {
-			iterate(a)
+		kc.mapTasks++
+		if adaptive && useMerge(len(urow), len(col)) {
+			kc.mergeTasks++
+			mergeIntersect(urow, col, kc)
+			continue
+		}
+		if !built {
+			direct := !opt.NoDirectHash && urow[len(urow)-1] <= mask
+			set.Reset(direct)
+			for _, k := range urow {
+				set.Insert(k)
+			}
+			built = true
+		}
+		if !opt.NoEarlyBreak {
+			for idx := len(col) - 1; idx >= 0; idx-- {
+				k := col[idx]
+				if k < minKey {
+					break
+				}
+				kc.probes++
+				if set.Contains(k) {
+					kc.triangles++
+				}
+			}
+		} else {
+			for _, k := range col {
+				kc.probes++
+				if set.Contains(k) {
+					kc.triangles++
+				}
+			}
 		}
 	}
 }
 
-// newKernelSet sizes the intersection hash map. Keys are local k indices
-// (< ceil(n/q)); the capacity is the smaller of the full local range (which
-// makes every row eligible for collision-free direct hashing) and 8× the
-// globally largest U-block row (which bounds the probing load factor at 1/8
-// when the range is too large to materialize).
-func newKernelSet(blk *blocks) *hashset.Set {
+// runKernel is the sequential driver: one compute step's triangles, counted
+// on the calling goroutine. With Options.NoAdaptiveIntersect set it is the
+// original single-threaded kernel, counters bit for bit.
+func runKernel(task *csrBlock, taskRows []int32, u *csrBlock, l *cscBlock, set *hashset.Set, opt Options, kc *kernelCounters) {
+	if !opt.NoDoublySparse {
+		for _, a := range taskRows {
+			kernelRow(a, task, u, l, set, opt, kc)
+		}
+	} else {
+		for a := int32(0); a < task.rows; a++ {
+			kernelRow(a, task, u, l, set, opt, kc)
+		}
+	}
+}
+
+// kernelWorkers resolves Options.KernelThreads: 0 (or a negative value)
+// selects min(GOMAXPROCS, NumCPU) — as many workers as the runtime will
+// actually schedule in parallel.
+func (o Options) kernelWorkers() int {
+	t := o.KernelThreads
+	if t <= 0 {
+		t = runtime.GOMAXPROCS(0)
+		if n := runtime.NumCPU(); n < t {
+			t = n
+		}
+	}
+	return t
+}
+
+// kernelPool is the per-call worker state of the parallel kernel: one pooled
+// hash set and one private counter block per worker, reused across all
+// shifts of a count. Every set is sized from the same capacity hint, so the
+// power-of-two mask — and with it the direct-mode decision and the probe
+// stream of every row — is identical no matter which worker runs the row.
+// The counters are summed in worker order after each step's barrier, which
+// keeps every Result counter exact at any thread count (each field is a pure
+// sum over (row, task) pairs).
+type kernelPool struct {
+	sets    []*hashset.Set
+	kcs     []kernelCounters
+	allRows []int32 // lazily materialized 0..rows-1 for NoDoublySparse
+}
+
+// newKernelPool builds a pool of `workers` kernel workers whose sets share
+// one capacity hint (see kernelCapHint / summaCapHint).
+func newKernelPool(capHint, workers int) *kernelPool {
+	if workers < 1 {
+		workers = 1
+	}
+	kp := &kernelPool{
+		sets: make([]*hashset.Set, workers),
+		kcs:  make([]kernelCounters, workers),
+	}
+	for i := range kp.sets {
+		kp.sets[i] = hashset.New(capHint)
+	}
+	return kp
+}
+
+// run executes one compute step's kernel over the current operand blocks,
+// fanning the task rows across the pool's workers. Must be called from
+// inside a Compute section; the goroutines it spawns share that section's
+// slot and wall-clock measurement.
+func (kp *kernelPool) run(task *csrBlock, taskRows []int32, u *csrBlock, l *cscBlock, opt Options) {
+	if len(kp.sets) == 1 {
+		runKernel(task, taskRows, u, l, kp.sets[0], opt, &kp.kcs[0])
+		return
+	}
+	rows := taskRows
+	if opt.NoDoublySparse {
+		if kp.allRows == nil {
+			kp.allRows = make([]int32, task.rows)
+			for a := range kp.allRows {
+				kp.allRows[a] = int32(a)
+			}
+		}
+		rows = kp.allRows
+	}
+	buckets := partitionLPT(rows, task, u, l, len(kp.sets))
+	var wg sync.WaitGroup
+	for w := range kp.sets {
+		if len(buckets[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, a := range buckets[w] {
+				kernelRow(a, task, u, l, kp.sets[w], opt, &kp.kcs[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// total sums the workers' private counters, deterministically in worker
+// order.
+func (kp *kernelPool) total() kernelCounters {
+	var kc kernelCounters
+	for i := range kp.kcs {
+		kc.add(kp.kcs[i])
+	}
+	return kc
+}
+
+// partitionLPT splits one step's task rows into one bucket per worker,
+// balanced by the A⁺-weight Σ over the row's tasks of min(|U-row|, |L-col|)
+// — the work an intersection actually performs, whichever routine runs it.
+// Rows are placed longest-processing-time first onto the least-loaded
+// bucket; ties break deterministically (heavier weight, then lower row id),
+// though correctness never depends on placement: every counter is a pure sum
+// over pairs. Rows with zero weight this shift (empty U row, or every task
+// column empty) are dropped — they contribute nothing.
+func partitionLPT(rows []int32, task *csrBlock, u *csrBlock, l *cscBlock, workers int) [][]int32 {
+	type weightedRow struct {
+		a int32
+		w int64
+	}
+	weighted := make([]weightedRow, 0, len(rows))
+	for _, a := range rows {
+		tcols := task.row(a)
+		if len(tcols) == 0 {
+			continue
+		}
+		urow := u.row(a)
+		if len(urow) == 0 {
+			continue
+		}
+		var wt int64
+		for _, b := range tcols {
+			if lc := len(l.col(b)); lc > 0 {
+				if lc < len(urow) {
+					wt += int64(lc)
+				} else {
+					wt += int64(len(urow))
+				}
+			}
+		}
+		if wt == 0 {
+			continue
+		}
+		weighted = append(weighted, weightedRow{a, wt})
+	}
+	sort.Slice(weighted, func(i, j int) bool {
+		if weighted[i].w != weighted[j].w {
+			return weighted[i].w > weighted[j].w
+		}
+		return weighted[i].a < weighted[j].a
+	})
+	buckets := make([][]int32, workers)
+	loads := make([]int64, workers)
+	for _, r := range weighted {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		buckets[best] = append(buckets[best], r.a)
+		loads[best] += r.w
+	}
+	return buckets
+}
+
+// kernelCapHint sizes the intersection hash maps of the Cannon path. Keys
+// are local k indices (< ceil(n/q)); the capacity is the smaller of the full
+// local range (which makes every row eligible for collision-free direct
+// hashing) and 8× the globally largest U-block row (which bounds the probing
+// load factor at 1/8 when the range is too large to materialize).
+//
+// The hint is computed once per count from the resident maxURow, and every
+// pooled per-worker set is built from this same hint — the mask must agree
+// across workers for the probe stream to be thread-count invariant. The
+// bound survives elastic growth: GrowTo only appends empty rows (no row gets
+// longer) and Splice re-allreduces maxURow after every mutation, so the
+// resident value is always ≥ the actual longest row
+// (Prepared.ValidateKernelSizing asserts this).
+func kernelCapHint(blk *blocks) int {
 	localRange := int((blk.n + int64(blk.q) - 1) / int64(blk.q))
 	byRow := int(8 * blk.maxURow)
 	capHint := localRange
@@ -92,5 +315,5 @@ func newKernelSet(blk *blocks) *hashset.Set {
 	if capHint < 64 {
 		capHint = 64
 	}
-	return hashset.New(capHint)
+	return capHint
 }

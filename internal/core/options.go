@@ -62,8 +62,24 @@ type Options struct {
 	// sends each sparse-matrix array as a separate, element-wise encoded
 	// message (§5.2 "reducing overheads associated with communication").
 	NoBlob bool
+	// NoAdaptiveIntersect disables the per-(row, col) choice between the
+	// hash probe (TC-Hash, good for skewed pairs) and the sorted-merge scan
+	// (TC-Merge, cheaper when the two lists have comparable lengths) and
+	// always probes the hash set — the pre-adaptive kernel, bit-identical
+	// probe counters included.
+	NoAdaptiveIntersect bool
 	// TrackPerShift records per-shift kernel compute times (Table 3).
 	TrackPerShift bool
+
+	// KernelThreads is the number of worker goroutines each rank fans one
+	// compute step's task rows across (intra-rank parallelism, on top of
+	// the inter-rank 2D decomposition). Rows are split into weight-balanced
+	// buckets — weight = Σ over the row's tasks of min(|U-row|, |L-col|) —
+	// assigned longest-processing-time first, and every worker owns a
+	// pooled hash set plus private counters summed after the bucket
+	// barrier, so all Result counters are exact at any thread count.
+	// 0 selects min(GOMAXPROCS, NumCPU); 1 runs the sequential kernel.
+	KernelThreads int
 }
 
 // Result reports the outcome and instrumentation of one distributed count.
@@ -94,8 +110,18 @@ type Result struct {
 	// friendster discussion in §7.1).
 	Probes int64
 	// MapTasks is the global number of (task, shift) pairs that resulted
-	// in a map-based set intersection (Table 4's redundant-work metric).
+	// in a set intersection (Table 4's redundant-work metric). The pair
+	// structure is fixed by the decomposition, so the number is identical
+	// whichever intersection routine each pair used.
 	MapTasks int64
+	// MergeTasks is the number of those pairs the adaptive kernel
+	// intersected with the sorted-merge scan instead of the hash probe
+	// (0 when Options.NoAdaptiveIntersect is set). MapTasks - MergeTasks
+	// pairs took the hash path.
+	MergeTasks int64
+	// MergeOps is the global number of pointer advances the merge-path
+	// intersections performed — the merge-side counterpart of Probes.
+	MergeOps int64
 	// PreOps is the global number of adjacency-entry operations performed
 	// during preprocessing (the ppt operation count of Figure 2).
 	PreOps int64
@@ -107,4 +133,8 @@ type Result struct {
 	LocalPerShift   []float64
 	// LocalTriangles is this rank's contribution to the count.
 	LocalTriangles int64
+
+	// KernelThreads is the resolved per-rank worker count the kernel ran
+	// with (Options.KernelThreads after resolving 0 to the host default).
+	KernelThreads int
 }

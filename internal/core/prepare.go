@@ -47,6 +47,16 @@ type Prepared struct {
 	labels   []int32 // final label of cyclic id labelBeg+i
 	labelBeg int32   // first cyclic id owned by this rank
 	mirror   *rowMirror
+
+	// Resident kernel defaults for code paths that run intersections
+	// without a per-call Options value — the delta passes of the write
+	// path. Queries pass their own Options and ignore these. Seeded from
+	// the Options given to Prepare/PrepareSUMMAGrid and overridable via
+	// SetKernelConfig (the cluster layer applies its Options at build,
+	// restore and rebuild time); the zero value resolves to the host
+	// default thread count with adaptive intersection on.
+	kernelThreads    int
+	kernelNoAdaptive bool
 }
 
 // N returns the global vertex count.
@@ -73,6 +83,34 @@ func (p *Prepared) CommFracPre() float64 { return p.fracPre }
 
 // Enumeration returns the enumeration rule the task block was built for.
 func (p *Prepared) Enumeration() Enumeration { return p.enum }
+
+// SetKernelConfig stores the resident kernel defaults: the worker count
+// (Options.KernelThreads semantics — 0 = min(GOMAXPROCS, NumCPU)) and
+// whether adaptive merge/hash intersection is disabled. The write path's
+// delta passes read these; counting queries carry their own Options. Call
+// only while no epoch is running over the state (the same exclusivity
+// SetLabels needs).
+func (p *Prepared) SetKernelConfig(threads int, noAdaptive bool) {
+	p.kernelThreads = threads
+	p.kernelNoAdaptive = noAdaptive
+}
+
+// KernelWorkers returns the resolved resident worker count (≥ 1).
+func (p *Prepared) KernelWorkers() int {
+	return Options{KernelThreads: p.kernelThreads}.kernelWorkers()
+}
+
+// KernelConfig returns the raw resident kernel defaults as stored — the
+// unresolved thread count (0 = host default) and the adaptive-intersection
+// kill switch — so a rebuild can carry the configuration over without
+// pinning a resolved value.
+func (p *Prepared) KernelConfig() (threads int, noAdaptive bool) {
+	return p.kernelThreads, p.kernelNoAdaptive
+}
+
+// KernelNoAdaptive reports whether the resident config disables adaptive
+// merge/hash intersection.
+func (p *Prepared) KernelNoAdaptive() bool { return p.kernelNoAdaptive }
 
 func checkInput(in *dgraph.Dist1D) error {
 	if in == nil {
@@ -126,7 +164,8 @@ func Prepare(c *mpi.Comm, in *dgraph.Dist1D, opt Options) (*Prepared, error) {
 	if err := checkInput(in); err != nil {
 		return nil, err
 	}
-	prep := &Prepared{enum: opt.Enumeration, n: in.N, baseN: in.N}
+	prep := &Prepared{enum: opt.Enumeration, n: in.N, baseN: in.N,
+		kernelThreads: opt.KernelThreads, kernelNoAdaptive: opt.NoAdaptiveIntersect}
 	localDirected := int64(len(in.Adj))
 	wedgesLocal := localWedges(in)
 
@@ -157,7 +196,8 @@ func PrepareSUMMAGrid(c *mpi.Comm, in *dgraph.Dist1D, qr, qc int, opt Options) (
 		return nil, err
 	}
 	L := lcm(qr, qc)
-	prep := &Prepared{enum: opt.Enumeration, n: in.N, baseN: in.N, qr: qr, qc: qc, lc: L}
+	prep := &Prepared{enum: opt.Enumeration, n: in.N, baseN: in.N, qr: qr, qc: qc, lc: L,
+		kernelThreads: opt.KernelThreads, kernelNoAdaptive: opt.NoAdaptiveIntersect}
 	localDirected := int64(len(in.Adj))
 	wedgesLocal := localWedges(in)
 
@@ -237,10 +277,13 @@ func CountPrepared(c *mpi.Comm, prep *Prepared, opt Options) (*Result, error) {
 	c.Barrier()
 	t2, s2 := c.Time(), c.Stats()
 
-	sums := c.AllreduceInt64s([]int64{kc.triangles, kc.probes, kc.mapTasks}, mpi.OpSum)
+	sums := c.AllreduceInt64s([]int64{kc.triangles, kc.probes, kc.mapTasks, kc.mergeTasks, kc.mergeOps}, mpi.OpSum)
 	res.Triangles = sums[0]
 	res.Probes = sums[1]
 	res.MapTasks = sums[2]
+	res.MergeTasks = sums[3]
+	res.MergeOps = sums[4]
+	res.KernelThreads = opt.kernelWorkers()
 
 	res.CountTime = t2 - t1
 	res.TotalTime = res.CountTime

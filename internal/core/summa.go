@@ -2,7 +2,6 @@ package core
 
 import (
 	"tc2d/internal/dgraph"
-	"tc2d/internal/hashset"
 	"tc2d/internal/mpi"
 )
 
@@ -161,8 +160,7 @@ func buildSUMMA(c *mpi.Comm, grid *mpi.RectGrid, rl *relabeled, L int, enum Enum
 
 // summaCount runs the lcm(qr,qc) broadcast-and-multiply steps.
 func summaCount(c *mpi.Comm, grid *mpi.RectGrid, blk *summaBlocks, L int, opt Options) (kernelCounters, []float64) {
-	set := newSummaSet(blk, int64(L))
-	var kc kernelCounters
+	pool := newKernelPool(summaCapHint(blk), opt.kernelWorkers())
 	perShift := make([]float64, 0, L)
 
 	// Deterministic step order; empty buckets still broadcast an empty
@@ -195,17 +193,20 @@ func summaCount(c *mpi.Comm, grid *mpi.RectGrid, blk *summaBlocks, L int, opt Op
 		l := cscBlock{cols: lDim, xadj: lX, adj: lA}
 		before := c.Stats().CompTime
 		c.Compute(func() {
-			runKernel(&blk.task, blk.rows, &u, &l, set, opt, &kc)
+			pool.run(&blk.task, blk.rows, &u, &l, opt)
 		})
 		perShift = append(perShift, c.Stats().CompTime-before)
 	}
-	return kc, perShift
+	return pool.total(), perShift
 }
 
-// newSummaSet sizes the kernel hash set for keys k div L, mirroring the
-// Cannon path's policy: full key range when affordable (every row becomes
-// direct-hash eligible), else 8× the largest U row (probing load ≤ 1/8).
-func newSummaSet(blk *summaBlocks, L int64) *hashset.Set {
+// summaCapHint sizes the kernel hash sets for keys k div L, mirroring the
+// Cannon path's policy (kernelCapHint): full key range when affordable
+// (every row becomes direct-hash eligible), else 8× the largest U row
+// (probing load ≤ 1/8). Like the Cannon hint, it is computed once per count
+// and shared by every pooled per-worker set, and the maxURow bound survives
+// elastic growth (see kernelCapHint).
+func summaCapHint(blk *summaBlocks) int {
 	localRange := int(int64(blk.nRows)) // nRows ≈ n/qr ≥ n/L: a safe range bound
 	byRow := int(8 * blk.maxURow)
 	capHint := localRange
@@ -215,5 +216,5 @@ func newSummaSet(blk *summaBlocks, L int64) *hashset.Set {
 	if capHint < 64 {
 		capHint = 64
 	}
-	return hashset.New(capHint)
+	return capHint
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"tc2d/internal/core"
 	"tc2d/internal/dgraph"
@@ -394,6 +395,11 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 	return r, nil
 }
 
+// mergeRatio mirrors the core kernel's adaptive threshold: pairs whose row
+// lengths are within this factor of each other are intersected with a
+// sorted-merge scan instead of the hash probe.
+const mergeRatio = 4
+
 // deltaPass counts the discoveries of triangles through each marked edge
 // against the current resident graph, bucketed by how many of the other
 // two edges are themselves marked (0, 1 or 2). The marked list must be
@@ -402,10 +408,20 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 // For marked edge (a, b) and each grid column class, the rank holding
 // row a in that class ships the row to the rank holding row b (same grid
 // column, grid row b mod qr), which intersects the two rows with the
-// kernel's hash-probe machinery — third vertices are partitioned by
-// column residue, so the union over classes covers each one exactly
-// once. Rows whose endpoints share a grid row intersect locally; all
-// cross-row traffic travels through one sparse all-to-all.
+// kernel's machinery — the hash probe for skewed pairs, a sorted-merge
+// scan for balanced ones unless the resident kernel config disables
+// adaptivity — third vertices are partitioned by column residue, so the
+// union over classes covers each one exactly once. Rows whose endpoints
+// share a grid row intersect locally; all cross-row traffic travels
+// through one sparse all-to-all.
+//
+// Like the count kernel, the pass fans its intersection items across the
+// resident worker count (Prepared.KernelWorkers), balanced by
+// min(|rowA|, |rowB|) weights: each worker owns a private hash set and
+// private counters summed in worker order afterwards, and both the
+// discovery buckets and the probe count are pure sums over items, so the
+// totals are exact at any thread count. The second return value counts
+// intersection operations (hash probes plus merge-scan advances).
 func deltaPass(c *mpi.Comm, prep *core.Prepared, marked [][2]int32, qr, qc, x, y int) ([3]int64, int64) {
 	var cnt [3]int64
 	var probes int64
@@ -430,12 +446,75 @@ func deltaPass(c *mpi.Comm, prep *core.Prepared, marked [][2]int32, qr, qc, x, y
 		}
 	})
 	got := c.AlltoallvSparseInt32(send)
+	workers := prep.KernelWorkers()
+	adaptive := !prep.KernelNoAdaptive()
 	c.Compute(func() {
-		set := hashset.New(64)
-		process := func(e [2]int32, rowA []int32) {
-			a, b := e[0], e[1]
+		// Collect this rank's intersection items: locally intersectable
+		// marked edges plus the rows shipped in for cross-row edges.
+		type item struct {
+			e    [2]int32
+			rowA []int32
+		}
+		var items []item
+		for _, e := range marked {
+			if br := int(e[1]) % qr; int(e[0])%qr == br && br == x {
+				items = append(items, item{e, prep.AdjRow(e[0])})
+			}
+		}
+		for _, buf := range got {
+			for i := 0; i < len(buf); {
+				idx, l := buf[i], int(buf[i+1])
+				items = append(items, item{marked[idx], buf[i+2 : i+2+l]})
+				i += 2 + l
+			}
+		}
+		if workers > len(items) {
+			workers = len(items)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		type wstate struct {
+			cnt    [3]int64
+			probes int64
+		}
+		states := make([]wstate, workers)
+		sets := make([]*hashset.Set, workers)
+		for w := range sets {
+			sets[w] = hashset.New(64)
+		}
+		process := func(it item, set *hashset.Set, ws *wstate) {
+			a, b := it.e[0], it.e[1]
+			rowA := it.rowA
 			rowB := prep.AdjRow(b)
 			if len(rowA) == 0 || len(rowB) == 0 {
+				return
+			}
+			hit := func(w int32) {
+				o := 0
+				if _, ok := mset[packEdge(a, w)]; ok {
+					o++
+				}
+				if _, ok := mset[packEdge(b, w)]; ok {
+					o++
+				}
+				ws.cnt[o]++
+			}
+			if adaptive && len(rowA) <= mergeRatio*len(rowB) && len(rowB) <= mergeRatio*len(rowA) {
+				i, j := 0, 0
+				for i < len(rowA) && j < len(rowB) {
+					ws.probes++
+					switch {
+					case rowA[i] == rowB[j]:
+						hit(rowA[i])
+						i++
+						j++
+					case rowA[i] < rowB[j]:
+						i++
+					default:
+						j++
+					}
+				}
 				return
 			}
 			set.Grow(8 * len(rowA))
@@ -446,31 +525,67 @@ func deltaPass(c *mpi.Comm, prep *core.Prepared, marked [][2]int32, qr, qc, x, y
 				set.Insert(w)
 			}
 			for _, w := range rowB {
-				probes++
-				if !set.Contains(w) {
+				ws.probes++
+				if set.Contains(w) {
+					hit(w)
+				}
+			}
+		}
+		if workers == 1 {
+			for _, it := range items {
+				process(it, sets[0], &states[0])
+			}
+		} else {
+			// LPT buckets over min(|rowA|, |rowB|) weights, heaviest first.
+			order := make([]int, len(items))
+			weight := make([]int64, len(items))
+			for i, it := range items {
+				order[i] = i
+				la, lb := len(it.rowA), len(prep.AdjRow(it.e[1]))
+				if la < lb {
+					weight[i] = int64(la)
+				} else {
+					weight[i] = int64(lb)
+				}
+			}
+			sort.Slice(order, func(i, j int) bool {
+				if weight[order[i]] != weight[order[j]] {
+					return weight[order[i]] > weight[order[j]]
+				}
+				return order[i] < order[j]
+			})
+			buckets := make([][]int, workers)
+			loads := make([]int64, workers)
+			for _, i := range order {
+				best := 0
+				for w := 1; w < workers; w++ {
+					if loads[w] < loads[best] {
+						best = w
+					}
+				}
+				buckets[best] = append(buckets[best], i)
+				loads[best] += weight[i]
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				if len(buckets[w]) == 0 {
 					continue
 				}
-				o := 0
-				if _, ok := mset[packEdge(a, w)]; ok {
-					o++
-				}
-				if _, ok := mset[packEdge(b, w)]; ok {
-					o++
-				}
-				cnt[o]++
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for _, i := range buckets[w] {
+						process(items[i], sets[w], &states[w])
+					}
+				}(w)
 			}
+			wg.Wait()
 		}
-		for _, e := range marked {
-			if br := int(e[1]) % qr; int(e[0])%qr == br && br == x {
-				process(e, prep.AdjRow(e[0]))
-			}
-		}
-		for _, buf := range got {
-			for i := 0; i < len(buf); {
-				idx, l := buf[i], int(buf[i+1])
-				process(marked[idx], buf[i+2:i+2+l])
-				i += 2 + l
-			}
+		for w := range states {
+			cnt[0] += states[w].cnt[0]
+			cnt[1] += states[w].cnt[1]
+			cnt[2] += states[w].cnt[2]
+			probes += states[w].probes
 		}
 	})
 	return cnt, probes

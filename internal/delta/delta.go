@@ -144,7 +144,9 @@ type Result struct {
 	// M and Wedges are the graph's edge and wedge totals after the batch.
 	M, Wedges int64
 
-	// Probes counts hash-probe operations of the two delta passes.
+	// Probes counts intersection operations of the two delta passes: hash
+	// probes plus, when the resident kernel config leaves adaptive
+	// intersection on, sorted-merge scan advances.
 	Probes int64
 
 	// ApplyTime is the parallel (virtual) time of the update epoch;

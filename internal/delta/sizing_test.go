@@ -1,0 +1,120 @@
+package delta
+
+import (
+	"testing"
+
+	"tc2d/internal/core"
+	"tc2d/internal/dgraph"
+	"tc2d/internal/graph"
+	"tc2d/internal/mpi"
+	"tc2d/internal/rmat"
+)
+
+// TestKernelSizingSurvivesGrowth asserts the bound the pooled kernel sets
+// are sized from: the resident maxURow must stay ≥ the actual longest
+// U-block row through an update stream that grows the vertex space, piles
+// edges onto a hub (lengthening one row far beyond its build-time size),
+// removes a vertex, and finally folds the overflow with a rebuild. The
+// kernel reads maxURow only through the capacity hint, so a violated bound
+// would not crash — it would silently degrade the direct-hash decision —
+// hence the explicit collective assertion, and a recount per step proving
+// the multi-threaded kernel stays exact on the grown blocks.
+func TestKernelSizingSurvivesGrowth(t *testing.T) {
+	g, err := rmat.G500.Generate(8, 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 4
+	w := mpi.NewWorld(ranks, mpi.Config{Model: mpi.ZeroCostModel(), ComputeSlots: 4})
+	defer w.Close()
+	preps := make([]*core.Prepared, ranks)
+	_, err = w.Run(func(c *mpi.Comm) (any, error) {
+		var gin *graph.Graph
+		if c.Rank() == 0 {
+			gin = g
+		}
+		d, err := dgraph.ScatterGraph(c, 0, gin)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := core.Prepare(c, d, core.Options{KernelThreads: 3})
+		preps[c.Rank()] = pr
+		return nil, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate := func(stage string) {
+		t.Helper()
+		_, err := w.Run(func(c *mpi.Comm) (any, error) {
+			return nil, preps[c.Rank()].ValidateKernelSizing(c)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		results, err := w.Run(func(c *mpi.Comm) (any, error) {
+			return core.CountPrepared(c, preps[c.Rank()], core.Options{KernelThreads: 3})
+		})
+		if err != nil {
+			t.Fatalf("%s recount: %v", stage, err)
+		}
+		seq, err := w.Run(func(c *mpi.Comm) (any, error) {
+			return core.CountPrepared(c, preps[c.Rank()], core.Options{KernelThreads: 1, NoAdaptiveIntersect: true})
+		})
+		if err != nil {
+			t.Fatalf("%s sequential recount: %v", stage, err)
+		}
+		if a, b := results[0].(*core.Result).Triangles, seq[0].(*core.Result).Triangles; a != b {
+			t.Fatalf("%s: 3-thread count %d != sequential %d", stage, a, b)
+		}
+	}
+	apply := func(stage string, batch []Update) {
+		t.Helper()
+		canon, _, err := Canonicalize(batch, preps[0].N())
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		_, err = w.Run(func(c *mpi.Comm) (any, error) {
+			return Apply(c, preps[c.Rank()], canon)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		validate(stage)
+	}
+	validate("after build")
+
+	n := int32(preps[0].N())
+	// Grow the space: fresh vertices wired to resident anchors.
+	var grow []Update
+	for i := int32(0); i < 6; i++ {
+		grow = append(grow, Update{U: n + i, V: i % n, Op: OpInsert})
+	}
+	apply("after growth", grow)
+
+	// Lengthen one hub row far past its build-time length: vertex 0 gains
+	// an edge to every fourth vertex. maxURow must track the splice.
+	var hub []Update
+	for v := int32(1); v < n; v += 4 {
+		hub = append(hub, Update{U: 0, V: v, Op: OpInsert})
+	}
+	apply("after hub pile-up", hub)
+
+	apply("after removal", []Update{{U: 0, Op: OpRemoveVertex}})
+
+	// Fold the overflow; the rebuild must carry the kernel config over.
+	newPreps := make([]*core.Prepared, ranks)
+	_, err = w.Run(func(c *mpi.Comm) (any, error) {
+		np, err := Rebuild(c, preps[c.Rank()])
+		newPreps[c.Rank()] = np
+		return nil, err
+	})
+	if err != nil {
+		t.Fatalf("fold rebuild: %v", err)
+	}
+	copy(preps, newPreps)
+	if got := preps[0].KernelWorkers(); got != 3 {
+		t.Errorf("rebuild dropped the kernel config: KernelWorkers=%d, want 3", got)
+	}
+	validate("after fold")
+}

@@ -89,12 +89,33 @@ type jsonGrowthRun struct {
 	WallSec          float64           `json:"wall_s"`
 }
 
+// jsonKernelRun is one machine-readable measurement of the intra-rank
+// kernel scenario (schema v5): one counting epoch at one kernel worker
+// count and one intersection mode over a fixed resident state. Wall
+// seconds are real time — kernel threading shrinks wall time, not modeled
+// virtual time — and the counters are exactness evidence: within a mode
+// they must not vary with the thread count.
+type jsonKernelRun struct {
+	Dataset    string  `json:"dataset"`
+	Ranks      int     `json:"ranks"`
+	Threads    int     `json:"threads"`
+	Adaptive   bool    `json:"adaptive"`
+	Triangles  int64   `json:"triangles"`
+	CountSec   float64 `json:"count_s"`
+	WallSec    float64 `json:"wall_s"`
+	Speedup    float64 `json:"speedup"`
+	Probes     int64   `json:"probes"`
+	MapTasks   int64   `json:"map_tasks"`
+	MergeTasks int64   `json:"merge_tasks"`
+}
+
 // jsonDoc is the envelope written by WriteBenchJSON; the schema is the
 // contract for the BENCH_*.json perf-trajectory records kept across PRs.
 // Schema v2 added the update_runs section; v3 added concurrent_runs (the
-// reader/writer scheduler scenario); v4 adds growth_runs (the elastic
-// vertex-space scenario — absent or empty when it did not run). Readers
-// that ignore unknown fields still parse older sections.
+// reader/writer scheduler scenario); v4 added growth_runs (the elastic
+// vertex-space scenario); v5 adds kernel_runs (the intra-rank parallel
+// kernel sweep — absent or empty when it did not run). Readers that
+// ignore unknown fields still parse older sections.
 type jsonDoc struct {
 	SchemaVersion int       `json:"schema_version"`
 	Generated     time.Time `json:"generated"`
@@ -107,16 +128,17 @@ type jsonDoc struct {
 	UpdateRuns     []jsonUpdateRun     `json:"update_runs,omitempty"`
 	ConcurrentRuns []jsonConcurrentRun `json:"concurrent_runs,omitempty"`
 	GrowthRuns     []jsonGrowthRun     `json:"growth_runs,omitempty"`
+	KernelRuns     []jsonKernelRun     `json:"kernel_runs,omitempty"`
 }
 
 // WriteBenchJSON emits the benchmark measurements as a machine-readable
 // JSON document: one record per (dataset, ranks) scaling point with the
 // triangle count, parallel phase times, communication fractions, operation
 // counters and real wall time, plus one record per dynamic-update,
-// concurrent-scheduler and vertex-growth scenario point.
-func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, growth []GrowthRow, cfg Config) error {
+// concurrent-scheduler, vertex-growth and kernel-sweep scenario point.
+func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, growth []GrowthRow, kernel []KernelRow, cfg Config) error {
 	var doc jsonDoc
-	doc.SchemaVersion = 4
+	doc.SchemaVersion = 5
 	doc.Generated = time.Now().UTC()
 	m := cfg.model()
 	doc.CostModel.Alpha = m.Alpha
@@ -197,6 +219,21 @@ func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []Conc
 			run.Sweep = append(run.Sweep, jsonGrowthPoint{OverflowFraction: pt.OverflowFrac, ApplySec: pt.ApplySec})
 		}
 		doc.GrowthRuns = append(doc.GrowthRuns, run)
+	}
+	for _, r := range kernel {
+		doc.KernelRuns = append(doc.KernelRuns, jsonKernelRun{
+			Dataset:    r.Dataset,
+			Ranks:      r.Ranks,
+			Threads:    r.Threads,
+			Adaptive:   r.Adaptive,
+			Triangles:  r.Triangles,
+			CountSec:   r.CountSec,
+			WallSec:    r.WallSec,
+			Speedup:    r.Speedup,
+			Probes:     r.Probes,
+			MapTasks:   r.MapTasks,
+			MergeTasks: r.MergeTasks,
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,186 @@
+package tc2d
+
+import (
+	"strings"
+	"testing"
+)
+
+// End-to-end contract of the intra-rank parallel kernel: any KernelThreads
+// value must reproduce the sequential count and counters exactly, across
+// grid schedules, transports, intersection modes, and the delta-update
+// write path.
+
+func TestKernelThreadsEndToEnd(t *testing.T) {
+	g, err := GenerateRMAT(G500, 9, 8, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CountSequential(g)
+	for _, transport := range []Transport{TransportChannel, TransportTCP} {
+		for _, ranks := range []int{4, 6} { // Cannon and SUMMA schedules
+			var oracle *Result
+			for _, threads := range []int{1, 3} {
+				res, err := Count(g, Options{Ranks: ranks, Transport: transport, KernelThreads: threads})
+				if err != nil {
+					t.Fatalf("%v ranks=%d threads=%d: %v", transport, ranks, threads, err)
+				}
+				if res.Triangles != want {
+					t.Errorf("%v ranks=%d threads=%d: %d triangles, want %d",
+						transport, ranks, threads, res.Triangles, want)
+				}
+				if oracle == nil {
+					oracle = res
+					continue
+				}
+				if res.Probes != oracle.Probes || res.MapTasks != oracle.MapTasks || res.MergeTasks != oracle.MergeTasks {
+					t.Errorf("%v ranks=%d threads=%d: counters (probes=%d map=%d merge=%d) != 1-thread (%d, %d, %d)",
+						transport, ranks, threads, res.Probes, res.MapTasks, res.MergeTasks,
+						oracle.Probes, oracle.MapTasks, oracle.MergeTasks)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelThreadsValidation(t *testing.T) {
+	g := testClusterGraph(t)
+	if _, err := Count(g, Options{Ranks: 4, KernelThreads: -1}); err == nil || !strings.Contains(err.Error(), "KernelThreads") {
+		t.Errorf("Count with KernelThreads=-1: err=%v, want rejection", err)
+	}
+	if _, err := NewCluster(g, Options{Ranks: 4, KernelThreads: -2}); err == nil || !strings.Contains(err.Error(), "KernelThreads") {
+		t.Errorf("NewCluster with KernelThreads=-2: err=%v, want rejection", err)
+	}
+	cl, err := NewCluster(g, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Count(QueryOptions{KernelThreads: -1}); err == nil || !strings.Contains(err.Error(), "KernelThreads") {
+		t.Errorf("cluster Count with KernelThreads=-1: err=%v, want rejection", err)
+	}
+}
+
+// TestClusterKernelConfig checks the cluster surface: the standing kernel
+// config resolves query defaults, per-query overrides compose (a query can
+// disable adaptive selection but not re-enable it), and Info accumulates
+// the merge/hash task split of completed epochs.
+func TestClusterKernelConfig(t *testing.T) {
+	g := testClusterGraph(t)
+	want := CountSequential(g)
+	cl, err := NewCluster(g, Options{Ranks: 4, KernelThreads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if got := cl.Info().KernelThreads; got != 3 {
+		t.Errorf("Info.KernelThreads=%d, want 3", got)
+	}
+	adaptive, err := cl.Count(QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Triangles != want {
+		t.Errorf("adaptive query: %d triangles, want %d", adaptive.Triangles, want)
+	}
+	if adaptive.KernelThreads != 3 {
+		t.Errorf("query inherited KernelThreads=%d, want the cluster's 3", adaptive.KernelThreads)
+	}
+	if adaptive.MergeTasks == 0 {
+		t.Error("adaptive query took no merge path on an RMAT graph")
+	}
+	hashOnly, err := cl.Count(QueryOptions{NoAdaptiveIntersect: true, KernelThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashOnly.Triangles != want {
+		t.Errorf("hash-only query: %d triangles, want %d", hashOnly.Triangles, want)
+	}
+	if hashOnly.MergeTasks != 0 {
+		t.Errorf("NoAdaptiveIntersect query reported MergeTasks=%d", hashOnly.MergeTasks)
+	}
+	if hashOnly.KernelThreads != 1 {
+		t.Errorf("per-query override gave KernelThreads=%d, want 1", hashOnly.KernelThreads)
+	}
+	if hashOnly.MapTasks != adaptive.MapTasks {
+		t.Errorf("MapTasks %d (hash) != %d (adaptive): must count every intersected pair", hashOnly.MapTasks, adaptive.MapTasks)
+	}
+	info := cl.Info()
+	if wantMap := adaptive.MapTasks + hashOnly.MapTasks; info.MapTasks != wantMap {
+		t.Errorf("Info.MapTasks=%d, want %d accumulated over both epochs", info.MapTasks, wantMap)
+	}
+	if info.MergeTasks != adaptive.MergeTasks {
+		t.Errorf("Info.MergeTasks=%d, want %d", info.MergeTasks, adaptive.MergeTasks)
+	}
+
+	// A cluster built hash-only cannot be re-enabled per query.
+	hcl, err := NewCluster(g, Options{Ranks: 4, NoAdaptiveIntersect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hcl.Close()
+	res, err := hcl.Count(QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MergeTasks != 0 {
+		t.Errorf("hash-only cluster served an adaptive epoch (MergeTasks=%d)", res.MergeTasks)
+	}
+}
+
+// TestKernelThreadsDeltaStream is the write-path differential: the same
+// update stream applied on a multi-threaded adaptive cluster and on a
+// single-threaded hash-only cluster must maintain identical triangle
+// counts batch for batch, and agree with a full recount at the end.
+func TestKernelThreadsDeltaStream(t *testing.T) {
+	g := testClusterGraph(t)
+	par, err := NewCluster(g, Options{Ranks: 4, KernelThreads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	seq, err := NewCluster(g, Options{Ranks: 4, KernelThreads: 1, NoAdaptiveIntersect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+
+	n := int32(par.Info().N)
+	for b := 0; b < 4; b++ {
+		var batch []EdgeUpdate
+		for i := 0; i < 40; i++ {
+			u := int32((b*511 + i*37) % int(n))
+			v := int32((b*257 + i*91 + 1) % int(n))
+			if u == v {
+				v = (v + 1) % n
+			}
+			op := UpdateInsert
+			if i%5 == 4 {
+				op = UpdateDelete
+			}
+			batch = append(batch, EdgeUpdate{U: u, V: v, Op: op})
+		}
+		pres, err := par.ApplyUpdates(batch)
+		if err != nil {
+			t.Fatalf("parallel batch %d: %v", b, err)
+		}
+		sres, err := seq.ApplyUpdates(batch)
+		if err != nil {
+			t.Fatalf("sequential batch %d: %v", b, err)
+		}
+		if pres.Triangles != sres.Triangles || pres.DeltaTriangles != sres.DeltaTriangles {
+			t.Fatalf("batch %d: parallel Δ=%d total=%d, sequential Δ=%d total=%d",
+				b, pres.DeltaTriangles, pres.Triangles, sres.DeltaTriangles, sres.Triangles)
+		}
+	}
+	pcount, err := par.Count(QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scount, err := seq.Count(QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcount.Triangles != scount.Triangles {
+		t.Errorf("final recount: parallel %d != sequential %d", pcount.Triangles, scount.Triangles)
+	}
+}

@@ -465,6 +465,10 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 		return nil, fmt.Errorf("tc2d: snapshot was prepared for %v, Options ask for %v",
 			Enumeration(m.Enum), opt.Enumeration)
 	}
+	kthreads, err := opt.kernelThreads()
+	if err != nil {
+		return nil, err
+	}
 	world, err := opt.newWorld(m.Ranks)
 	if err != nil {
 		return nil, err
@@ -481,6 +485,7 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 		if derr != nil {
 			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, derr)
 		}
+		pr.SetKernelConfig(kthreads, opt.NoAdaptiveIntersect)
 		prep[c.Rank()] = pr
 		return nil, nil
 	})
@@ -501,6 +506,8 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 		maxVertices:     opt.MaxVertices,
 		baseM:           m.BaseM,
 		appliedEdges:    m.AppliedEdges,
+		kernelThreads:   kthreads,
+		noAdaptive:      opt.NoAdaptiveIntersect,
 	}
 	cl.lastTri.Store(m.Triangles)
 
