@@ -31,6 +31,7 @@ import (
 	"tc2d/internal/dgraph"
 	"tc2d/internal/graph"
 	"tc2d/internal/mpi"
+	"tc2d/internal/obs"
 	"tc2d/internal/rmat"
 	"tc2d/internal/seqtc"
 )
@@ -190,6 +191,15 @@ type Options struct {
 	// contention-free virtual-time measurements (benchmarking); 0 defaults
 	// to GOMAXPROCS (fastest wall time, fine for counting).
 	ComputeSlots int
+
+	// Metrics is the observability registry the run publishes into: epoch
+	// and per-rank communication/computation totals from the runtime,
+	// kernel step/probe/intersection counters, and — for resident
+	// clusters — query latencies, scheduler accounting and durability I/O.
+	// Nil disables metric publication for one-shot counts; NewCluster
+	// creates a private registry instead (read it back via
+	// Cluster.Metrics), so a resident cluster is always observable.
+	Metrics *obs.Registry
 }
 
 func (o Options) coreOptions() core.Options {
@@ -202,6 +212,7 @@ func (o Options) coreOptions() core.Options {
 		NoAdaptiveIntersect: o.NoAdaptiveIntersect,
 		TrackPerShift:       o.TrackPerShift,
 		KernelThreads:       o.KernelThreads,
+		Metrics:             o.Metrics,
 	}
 }
 
@@ -228,7 +239,7 @@ func (o Options) mpiConfig() mpi.Config {
 	if slots <= 0 {
 		slots = runtime.GOMAXPROCS(0)
 	}
-	return mpi.Config{Model: model, ComputeSlots: slots}
+	return mpi.Config{Model: model, ComputeSlots: slots, Metrics: o.Metrics}
 }
 
 func (o Options) ranks() (int, error) {

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tc2d/internal/core"
 	"tc2d/internal/dgraph"
 	"tc2d/internal/mpi"
+	"tc2d/internal/obs"
 )
 
 // ErrClosed is the sentinel returned by operations on a closed Cluster.
@@ -159,10 +161,10 @@ type Cluster struct {
 	// path's delta passes read the same config off each Prepared value.
 	kernelThreads int
 	noAdaptive    bool
-	lastTri    atomic.Int64 // maintained triangle count, -1 until first query
-	closed     atomic.Bool
-	closeOnce  sync.Once
-	closeErr   error
+	lastTri       atomic.Int64 // maintained triangle count, -1 until first query
+	closed        atomic.Bool
+	closeOnce     sync.Once
+	closeErr      error
 
 	// Write-path staleness state, touched only with sched.gate held
 	// exclusively. rebuildFraction, autoRebuild and maxVertices are
@@ -176,6 +178,11 @@ type Cluster struct {
 	// persist is the durability state (snapshot directory + WAL); nil when
 	// Options.PersistDir was unset. See persist.go.
 	persist *persister
+
+	// metrics holds the pre-resolved observability handles; the registry
+	// behind them also receives the runtime's and kernel's series. See
+	// metrics.go.
+	metrics *clusterMetrics
 }
 
 // NewCluster builds a resident cluster over g: the graph is scattered to
@@ -214,6 +221,13 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 	kthreads, err := opt.kernelThreads()
 	if err != nil {
 		return nil, err
+	}
+	// Resident clusters are always observable: without a caller-provided
+	// registry they get a private one. Setting opt.Metrics here threads the
+	// registry into the world (epoch/per-rank series) and, via coreOptions,
+	// into the preparation pipeline's kernel pools.
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
 	}
 	world, err := opt.newWorld(p)
 	if err != nil {
@@ -257,8 +271,10 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 		baseM:           prep[0].M(),
 		kernelThreads:   kthreads,
 		noAdaptive:      opt.NoAdaptiveIntersect,
+		metrics:         newClusterMetrics(opt.Metrics),
 	}
 	cl.lastTri.Store(-1)
+	cl.syncGraphMetrics()
 	if opt.PersistDir != "" {
 		if err := cl.initPersist(opt, snapFrac); err != nil {
 			world.Close()
@@ -279,7 +295,9 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 // scheduler guarantees the resident state cannot change while any of the
 // sharing callers is admitted.
 func (cl *Cluster) Count(q QueryOptions) (*Result, error) {
+	start := time.Now()
 	cl.sched.gate.RLock()
+	cl.metrics.admissionWait.Observe(time.Since(start).Seconds())
 	defer cl.sched.gate.RUnlock()
 	if cl.closed.Load() {
 		return nil, ErrClosed
@@ -288,11 +306,46 @@ func (cl *Cluster) Count(q QueryOptions) (*Result, error) {
 		return nil, fmt.Errorf("tc2d: KernelThreads=%d must be non-negative", q.KernelThreads)
 	}
 	res, err := cl.countShared(q)
+	cl.metrics.observeOp("count", start, err)
 	if err != nil {
 		return nil, err
 	}
 	cl.queries.Add(1)
 	return res, nil
+}
+
+// CountTraced is Count with a per-query execution trace: the returned span
+// tree brackets admission, the counting epoch, and inside it each rank's
+// schedule — every Cannon/SUMMA step split into its communication (shift or
+// broadcast) and kernel phases, with LogGP virtual times attached. Traced
+// queries run their own epoch (they never join a shared read flight), so
+// the tree describes exactly this query's work. The trace is returned even
+// when the count fails, truncated at the failure point.
+func (cl *Cluster) CountTraced(q QueryOptions) (*Result, *obs.Trace, error) {
+	tr := obs.NewTrace("count")
+	defer tr.End()
+	start := time.Now()
+	adm := tr.Span().StartChild("admission")
+	cl.sched.gate.RLock()
+	adm.End()
+	cl.metrics.admissionWait.Observe(time.Since(start).Seconds())
+	defer cl.sched.gate.RUnlock()
+	if cl.closed.Load() {
+		return nil, tr, ErrClosed
+	}
+	if q.KernelThreads < 0 {
+		return nil, tr, fmt.Errorf("tc2d: KernelThreads=%d must be non-negative", q.KernelThreads)
+	}
+	es := tr.Span().StartChild("epoch")
+	res, err := cl.countEpoch(q, es)
+	es.End()
+	cl.metrics.observeOp("count", start, err)
+	if err != nil {
+		return nil, tr, err
+	}
+	cl.queries.Add(1)
+	cl.readEpochs.Add(1)
+	return resultCopy(res), tr, nil
 }
 
 // countShared serves one query, joining an in-flight identical query's
@@ -303,6 +356,7 @@ func (cl *Cluster) countShared(q QueryOptions) (*Result, error) {
 	s.rmu.Lock()
 	if f, ok := s.flights[q]; ok {
 		s.rmu.Unlock()
+		cl.metrics.flightShared.Inc()
 		<-f.done
 		return resultCopy(f.res), f.err
 	}
@@ -310,7 +364,7 @@ func (cl *Cluster) countShared(q QueryOptions) (*Result, error) {
 	s.flights[q] = f
 	s.rmu.Unlock()
 
-	f.res, f.err = cl.countEpoch(q)
+	f.res, f.err = cl.countEpoch(q, nil)
 	if f.err == nil {
 		cl.readEpochs.Add(1)
 	}
@@ -322,9 +376,13 @@ func (cl *Cluster) countShared(q QueryOptions) (*Result, error) {
 }
 
 // countEpoch runs one counting epoch as a read epoch on the world. The
-// caller holds sched.gate.
-func (cl *Cluster) countEpoch(q QueryOptions) (*Result, error) {
+// caller holds sched.gate. A non-nil parent span collects one per-rank
+// child span tree (see core.CountPrepared); kernel counters always land in
+// the cluster registry.
+func (cl *Cluster) countEpoch(q QueryOptions, parent *obs.Span) (*Result, error) {
 	copt := cl.queryCoreOptions(q)
+	copt.Metrics = cl.metrics.registry()
+	copt.Trace = parent
 	prep := cl.prep
 	results, err := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
 		return core.CountPrepared(c, prep[c.Rank()], copt)
@@ -359,17 +417,21 @@ func resultCopy(res *Result) *Result {
 // total (one default query runs first if none has completed yet), so no
 // stale cache can leak into the ratio. Admits concurrently, like Count.
 func (cl *Cluster) Transitivity() (float64, error) {
+	start := time.Now()
 	cl.sched.gate.RLock()
+	cl.metrics.admissionWait.Observe(time.Since(start).Seconds())
 	defer cl.sched.gate.RUnlock()
 	if cl.closed.Load() {
 		return 0, ErrClosed
 	}
 	if cl.lastTri.Load() < 0 {
 		if _, err := cl.countShared(QueryOptions{}); err != nil {
+			cl.metrics.observeOp("transitivity", start, err)
 			return 0, err
 		}
 		cl.queries.Add(1)
 	}
+	cl.metrics.observeOp("transitivity", start, nil)
 	return TransitivityFromTotals(cl.lastTri.Load(), cl.prep[0].Wedges()), nil
 }
 
@@ -377,6 +439,7 @@ func (cl *Cluster) Transitivity() (float64, error) {
 func (cl *Cluster) Info() ClusterInfo {
 	cl.sched.gate.RLock()
 	defer cl.sched.gate.RUnlock()
+	cl.syncGraphMetrics()
 	p0 := cl.prep[0]
 	sp := p0.Space()
 	return ClusterInfo{

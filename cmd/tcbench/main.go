@@ -25,7 +25,11 @@
 // hash-only), reporting wall-time speedup per worker count and the
 // probe/task counters that prove exactness. All four always run when
 // -json is given; their rows land in the update_runs, concurrent_runs,
-// growth_runs and kernel_runs sections (schema v5).
+// growth_runs and kernel_runs sections (schema v6). Every measured
+// scenario also self-observes the benchmark process — peak heap,
+// allocation volume, GC cycles/pauses, and (for the concurrent scenario's
+// resident clusters) the metric-registry delta — into the JSON document's
+// runtime section.
 // Modeled parallel times come from the runtime's LogGP-style virtual clocks;
 // see DESIGN.md for the calibration discussion.
 package main
@@ -40,6 +44,7 @@ import (
 
 	"tc2d/internal/harness"
 	"tc2d/internal/mpi"
+	"tc2d/internal/obs"
 )
 
 func main() {
@@ -106,6 +111,11 @@ func main() {
 
 	step("table1", func() error { return harness.Table1(w, specs) })
 
+	// Each measured scenario self-observes the benchmark process (peak
+	// heap, GC work, registry deltas); the records land in the JSON
+	// document's runtime section.
+	var runtimeStats []harness.RuntimeStat
+
 	// The scaling sweep feeds Table 2, Figures 1–3 and the -json record.
 	needScaling := sel("table2") || sel("fig1") || sel("fig2") || sel("fig3") || *jsonTo != ""
 	var rows []harness.ScalingRow
@@ -114,7 +124,9 @@ func main() {
 		if *detail {
 			fmt.Fprintf(os.Stderr, "tcbench: running scaling sweep over ranks %v...\n", cfg.Ranks)
 		}
+		so := harness.StartRuntimeObs(nil)
 		rows, err = harness.RunScaling(specs, cfg)
+		runtimeStats = append(runtimeStats, so.Stop("scaling"))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: scaling sweep: %v\n", err)
 			os.Exit(1)
@@ -127,7 +139,9 @@ func main() {
 		if *detail {
 			fmt.Fprintf(os.Stderr, "tcbench: running updates scenario over ranks %s...\n", *uRanks)
 		}
+		so := harness.StartRuntimeObs(nil)
 		updRows, err = harness.RunUpdates(specs, parseInts(*uRanks), *uBatch, *uCount, cfg)
+		runtimeStats = append(runtimeStats, so.Stop("updates"))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: updates scenario: %v\n", err)
 			os.Exit(1)
@@ -135,7 +149,10 @@ func main() {
 	}
 	// The concurrent scenario feeds the "concurrent" table and the -json
 	// record. It measures one dataset (the first spec) at a fixed rank
-	// count across a schedule of reader counts.
+	// count across a schedule of reader counts. Its resident clusters
+	// publish into one shared registry, so this scenario's runtime record
+	// also carries the metric deltas (queries, epochs, coalescing, kernel
+	// counters) of the whole reader/writer run.
 	var concRows []harness.ConcurrentRow
 	if sel("concurrent") || *jsonTo != "" {
 		var err error
@@ -143,7 +160,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tcbench: running concurrent scenario (ranks %d, readers %s, %d writers)...\n",
 				*cRanks, *cReaders, *cWriters)
 		}
-		concRows, err = harness.RunConcurrent(specs[0], *cRanks, *cWriters, *cBatch, *cQueries, parseInts(*cReaders))
+		reg := obs.NewRegistry()
+		so := harness.StartRuntimeObs(reg)
+		concRows, err = harness.RunConcurrent(specs[0], *cRanks, *cWriters, *cBatch, *cQueries, parseInts(*cReaders), reg)
+		runtimeStats = append(runtimeStats, so.Stop("concurrent"))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: concurrent scenario: %v\n", err)
 			os.Exit(1)
@@ -158,7 +178,9 @@ func main() {
 		if *detail {
 			fmt.Fprintf(os.Stderr, "tcbench: running growth scenario over ranks %s...\n", *gRanks)
 		}
+		so := harness.StartRuntimeObs(nil)
 		growthRows, err = harness.RunGrowth(specs, parseInts(*gRanks), *gBatch, *gBatches, cfg)
+		runtimeStats = append(runtimeStats, so.Stop("growth"))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: growth scenario: %v\n", err)
 			os.Exit(1)
@@ -176,7 +198,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tcbench: running kernel scenario (ranks %d, threads %v)...\n", *kRanks, sched)
 		}
 		var err error
+		so := harness.StartRuntimeObs(nil)
 		kernelRows, err = harness.RunKernel(specs[0], *kRanks, sched, cfg)
+		runtimeStats = append(runtimeStats, so.Stop("kernel"))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: kernel scenario: %v\n", err)
 			os.Exit(1)
@@ -188,7 +212,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, growthRows, kernelRows, cfg); err != nil {
+		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, growthRows, kernelRows, runtimeStats, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: write json: %v\n", err)
 			os.Exit(1)
 		}

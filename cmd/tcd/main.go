@@ -19,6 +19,15 @@
 // snapshot plus WAL replay, zero re-preprocessing — instead of rebuilding it
 // from -graph/-rmat (which are then only used for the very first boot).
 //
+// The daemon is fully observable: every request is logged structurally
+// (log/slog: method, path, status, duration, trace id), GET /metrics
+// exposes the cluster's registry in Prometheus text format (query latency
+// histograms, scheduler queue/coalescing state, kernel counters, per-rank
+// epoch comm/comp time, WAL and snapshot I/O), trace=1 on /count, /update
+// and /snapshot returns the phase span tree of that very request, -pprof
+// mounts the runtime profiler under /debug/pprof/, and -slow-query logs
+// requests over a latency threshold at warn level.
+//
 // Usage:
 //
 //	tcd -rmat 14 -ranks 9                       # RMAT graph, 9-rank cluster
@@ -26,6 +35,7 @@
 //	tcd -rmat 13 -preset twitter -tcp           # loopback-TCP transport
 //	tcd -rmat 12 -max-concurrent-queries 32     # bound admitted reads
 //	tcd -rmat 12 -persist-dir /var/lib/tcd      # durable: restores on boot
+//	tcd -rmat 12 -pprof -slow-query 250ms       # profiling + slow-query log
 //
 // Endpoints:
 //
@@ -33,7 +43,10 @@
 //	                     nodirecthash, noearlybreak, noblob,
 //	                     noadaptiveintersect, any of =1/true;
 //	                     kernelthreads=N overrides the per-rank kernel
-//	                     worker count for this query)
+//	                     worker count for this query; trace=1 additionally
+//	                     returns the span tree of this query — admission,
+//	                     epoch, per-rank compute, each Cannon/SUMMA step
+//	                     split into shift vs kernel time)
 //	GET  /transitivity — global clustering coefficient
 //	POST /update       — apply a batch of edge and vertex mutations:
 //	                     {"updates":[{"u":1,"v":2,"op":"insert"},
@@ -45,13 +58,19 @@
 //	                     current space grow the graph; impossible ids
 //	                     (negative, removal of a nonexistent vertex,
 //	                     growth beyond -max-vertices) return 400 with
-//	                     {"code":"vertex_range"}
+//	                     {"code":"vertex_range"}. trace=1 returns the
+//	                     write-path span tree (queue wait, base count,
+//	                     write epoch, WAL append, rebuild)
 //	POST /snapshot     — persist the current state now (requires
 //	                     -persist-dir; also happens automatically as the
-//	                     WAL grows); returns the snapshot seq/path/bytes
+//	                     WAL grows); returns the snapshot seq/path/bytes;
+//	                     trace=1 returns the encode/commit/rotate spans
 //	GET  /stats        — graph, cluster, service and durability statistics
+//	GET  /metrics      — the cluster's observability registry in Prometheus
+//	                     text exposition format v0.0.4
 //	GET  /healthz      — liveness/readiness probe; returns 503 once
 //	                     shutdown has begun so load balancers drain first
+//	GET  /debug/pprof/ — runtime profiles (only with -pprof)
 package main
 
 import (
@@ -60,8 +79,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -70,27 +90,34 @@ import (
 	"time"
 
 	"tc2d"
+	"tc2d/internal/obs"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":7171", "HTTP listen address")
-		ranks  = flag.Int("ranks", 0, "SPMD ranks of the resident cluster (0 = the snapshot's rank count on restore, else 4)")
-		path   = flag.String("graph", "", "edge-list file to load (overrides -rmat)")
-		scale  = flag.Int("rmat", 12, "RMAT scale when no -graph is given (2^scale vertices)")
-		ef     = flag.Int("ef", 16, "RMAT edge factor")
-		seed   = flag.Uint64("seed", 42, "RMAT seed")
-		preset = flag.String("preset", "g500", "RMAT preset: g500, twitter, friendster")
-		tcp    = flag.Bool("tcp", false, "use the loopback TCP transport between ranks")
-		slots  = flag.Int("slots", 0, "compute slots (0 = GOMAXPROCS, fastest wall time)")
-		drain  = flag.Duration("drain", time.Second, "grace period after /healthz flips to 503 before the listener closes")
-		maxQ   = flag.Int("max-concurrent-queries", 0, "cap on concurrently admitted read queries (0 = unlimited)")
-		maxV   = flag.Int64("max-vertices", 1<<26, "cap on the elastic vertex space (0 = unbounded)")
-		pdir   = flag.String("persist-dir", "", "durability directory: snapshot/WAL on write, restore on boot (empty = not durable)")
-		noSync = flag.Bool("no-wal-sync", false, "skip the per-commit WAL fsync (crash-safe but not power-loss-safe)")
-		kthr   = flag.Int("kernel-threads", 0, "intra-rank kernel workers per rank (0 = min(GOMAXPROCS, NumCPU))")
+		addr     = flag.String("addr", ":7171", "HTTP listen address")
+		ranks    = flag.Int("ranks", 0, "SPMD ranks of the resident cluster (0 = the snapshot's rank count on restore, else 4)")
+		path     = flag.String("graph", "", "edge-list file to load (overrides -rmat)")
+		scale    = flag.Int("rmat", 12, "RMAT scale when no -graph is given (2^scale vertices)")
+		ef       = flag.Int("ef", 16, "RMAT edge factor")
+		seed     = flag.Uint64("seed", 42, "RMAT seed")
+		preset   = flag.String("preset", "g500", "RMAT preset: g500, twitter, friendster")
+		tcp      = flag.Bool("tcp", false, "use the loopback TCP transport between ranks")
+		slots    = flag.Int("slots", 0, "compute slots (0 = GOMAXPROCS, fastest wall time)")
+		drain    = flag.Duration("drain", time.Second, "grace period after /healthz flips to 503 before the listener closes")
+		maxQ     = flag.Int("max-concurrent-queries", 0, "cap on concurrently admitted read queries (0 = unlimited)")
+		maxV     = flag.Int64("max-vertices", 1<<26, "cap on the elastic vertex space (0 = unbounded)")
+		pdir     = flag.String("persist-dir", "", "durability directory: snapshot/WAL on write, restore on boot (empty = not durable)")
+		noSync   = flag.Bool("no-wal-sync", false, "skip the per-commit WAL fsync (crash-safe but not power-loss-safe)")
+		kthr     = flag.Int("kernel-threads", 0, "intra-rank kernel workers per rank (0 = min(GOMAXPROCS, NumCPU))")
+		usePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slowQ    = flag.Duration("slow-query", 0, "log requests slower than this at warn level (0 = disabled)")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	logger := newLogger(*logJSON)
+	slog.SetDefault(logger)
 
 	opt := tc2d.Options{Ranks: *ranks, ComputeSlots: *slots, MaxVertices: *maxV, NoWALSync: *noSync, KernelThreads: *kthr}
 	if *tcp {
@@ -100,19 +127,26 @@ func main() {
 	start := time.Now()
 	cluster, desc, err := openOrBuildCluster(*pdir, *path, *preset, *scale, *ef, *seed, opt)
 	if err != nil {
-		log.Fatalf("tcd: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	defer cluster.Close()
 	info := cluster.Info()
-	log.Printf("tcd: resident cluster up in %v: %s, n=%d m=%d, %d ranks (%v transport)",
-		time.Since(start).Round(time.Millisecond), desc, info.N, info.M, info.Ranks, info.Transport)
+	logger.Info("resident cluster up",
+		"boot", time.Since(start).Round(time.Millisecond).String(),
+		"source", desc, "n", info.N, "m", info.M,
+		"ranks", info.Ranks, "transport", info.Transport.String())
 
 	s := newServer(cluster, desc, start, *maxQ)
+	s.log = logger
+	s.slowQuery = *slowQ
+	s.pprof = *usePprof
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 	go func() {
-		log.Printf("tcd: serving on %s", *addr)
+		logger.Info("serving", "addr", *addr, "pprof", *usePprof)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("tcd: %v", err)
+			logger.Error("listen failed", "err", err)
+			os.Exit(1)
 		}
 	}()
 
@@ -129,16 +163,24 @@ func main() {
 	// Cluster.Close run, which itself drains anything still queued before
 	// the world and sockets come down.
 	s.draining.Store(true)
-	log.Printf("tcd: shutting down (healthz now 503; draining for %v)", *drain)
+	logger.Info("shutting down", "healthz", 503, "drain", drain.String())
 	time.Sleep(*drain)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("tcd: drain: %v", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	if err := cluster.Close(); err != nil {
-		log.Printf("tcd: cluster close: %v", err)
+		logger.Warn("cluster close", "err", err)
 	}
+}
+
+// newLogger builds the process logger: slog text (or JSON) on stderr.
+func newLogger(jsonOut bool) *slog.Logger {
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 // openOrBuildCluster is the restore-on-boot policy: with a persistence
@@ -209,13 +251,17 @@ type server struct {
 	errors   atomic.Int64
 	draining atomic.Bool
 
+	log       *slog.Logger
+	slowQuery time.Duration // warn-log requests at/over this; 0 = off
+	pprof     bool
+
 	querySem     chan struct{} // nil = unlimited
 	readInflight atomic.Int64
 	readPeak     atomic.Int64
 }
 
 func newServer(cl *tc2d.Cluster, desc string, start time.Time, maxQueries int) *server {
-	s := &server{cluster: cl, desc: desc, start: start}
+	s := &server{cluster: cl, desc: desc, start: start, log: slog.Default()}
 	if maxQueries > 0 {
 		s.querySem = make(chan struct{}, maxQueries)
 	}
@@ -250,8 +296,65 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.logRequests(mux)
+}
+
+// statusWriter records the status code a handler wrote so the request log
+// can report it; handlers that never call WriteHeader implied 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests is the request middleware: every request gets a trace id
+// (echoed in the X-Trace-Id response header, so a slow-query log line is
+// joinable with the client's view of the request) and a structured log
+// line with method, path, status and duration. Requests at or over the
+// -slow-query threshold are logged again at warn level. Probe and scrape
+// endpoints are exempt from info-level logging to keep the log readable
+// under 1-second scrape intervals.
+func (s *server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := obs.NewTraceID()
+		w.Header().Set("X-Trace-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(t0)
+		quiet := r.URL.Path == "/healthz" || r.URL.Path == "/metrics"
+		if !quiet || sw.status >= http.StatusBadRequest {
+			s.log.Info("request",
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "duration_ms", durMillis(dur),
+				"trace_id", id)
+		}
+		if s.slowQuery > 0 && dur >= s.slowQuery && !quiet {
+			s.log.Warn("slow query",
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "duration_ms", durMillis(dur),
+				"threshold_ms", durMillis(s.slowQuery),
+				"trace_id", id)
+		}
+	})
+}
+
+// durMillis renders a duration as fractional milliseconds for log fields.
+func durMillis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -262,12 +365,15 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// ratio guards the coalescing-factor divisions against zero denominators.
-func ratio(num, den int64) float64 {
-	if den == 0 {
-		return 0
+// handleMetrics serves the cluster's registry in Prometheus text format.
+// Info() is polled first so the resident-graph gauges are current at
+// scrape time.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.cluster.Info()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.cluster.Metrics().Expose(w); err != nil {
+		s.log.Warn("metrics exposition", "err", err)
 	}
-	return float64(num) / float64(den)
 }
 
 func boolParam(r *http.Request, name string) bool {
@@ -311,12 +417,21 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 		q.KernelThreads = n
 	}
 	t0 := time.Now()
-	res, err := s.cluster.Count(q)
+	var (
+		res *tc2d.Result
+		tr  *obs.Trace
+		err error
+	)
+	if boolParam(r, "trace") {
+		res, tr, err = s.cluster.CountTraced(q)
+	} else {
+		res, err = s.cluster.Count(q)
+	}
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"triangles":       res.Triangles,
 		"n":               res.N,
 		"m":               res.M,
@@ -326,9 +441,13 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 		"kernel_threads":  res.KernelThreads,
 		"count_time_s":    res.CountTime,
 		"comm_frac_count": res.CommFracCount,
-		"wall_ms":         float64(time.Since(t0).Microseconds()) / 1000,
+		"wall_ms":         durMillis(time.Since(t0)),
 		"query":           q,
-	})
+	}
+	if tr != nil {
+		body["trace"] = tr.Span()
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // updateRequest is the POST /update body.
@@ -378,7 +497,16 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, upd)
 	}
 	t0 := time.Now()
-	res, err := s.cluster.ApplyUpdates(batch)
+	var (
+		res *tc2d.UpdateResult
+		tr  *obs.Trace
+		err error
+	)
+	if boolParam(r, "trace") {
+		res, tr, err = s.cluster.ApplyUpdatesTraced(batch)
+	} else {
+		res, err = s.cluster.ApplyUpdates(batch)
+	}
 	if err != nil {
 		s.errors.Add(1)
 		// A typed vertex-range rejection is the caller's fault, with a
@@ -393,7 +521,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"inserted":         res.Inserted,
 		"deleted":          res.Deleted,
 		"skipped_existing": res.SkippedExisting,
@@ -410,14 +538,27 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		"rebuilt":          res.Rebuilt,
 		"coalesced":        res.Coalesced,
 		"apply_time_s":     res.ApplyTime,
-		"wall_ms":          float64(time.Since(t0).Microseconds()) / 1000,
-	})
+		"wall_ms":          durMillis(time.Since(t0)),
+	}
+	if tr != nil {
+		body["trace"] = tr.Span()
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	t0 := time.Now()
-	info, err := s.cluster.Snapshot()
+	var (
+		info *tc2d.SnapshotInfo
+		tr   *obs.Trace
+		err  error
+	)
+	if boolParam(r, "trace") {
+		info, tr, err = s.cluster.SnapshotTraced()
+	} else {
+		info, err = s.cluster.Snapshot()
+	}
 	if err != nil {
 		s.errors.Add(1)
 		status := http.StatusInternalServerError
@@ -427,13 +568,17 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, status, map[string]string{"error": err.Error()})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"seq":       info.Seq,
 		"path":      info.Path,
 		"bytes":     info.Bytes,
 		"triangles": info.Triangles,
-		"wall_ms":   float64(time.Since(t0).Microseconds()) / 1000,
-	})
+		"wall_ms":   durMillis(time.Since(t0)),
+	}
+	if tr != nil {
+		body["trace"] = tr.Span()
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleTransitivity(w http.ResponseWriter, r *http.Request) {
@@ -450,7 +595,7 @@ func (s *server) handleTransitivity(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"transitivity": tr,
 		"wedges":       info.Wedges,
-		"wall_ms":      float64(time.Since(t0).Microseconds()) / 1000,
+		"wall_ms":      durMillis(time.Since(t0)),
 	})
 }
 
@@ -483,18 +628,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"read_inflight_peak":     s.readPeak.Load(),
 			"max_concurrent_queries": cap(s.querySem),
 			"read_epochs":            info.ReadEpochs,
-			"read_coalescing":        ratio(info.Queries, info.ReadEpochs),
+			"read_coalescing":        obs.Ratio(info.Queries, info.ReadEpochs),
 			"write_queue_depth":      info.QueueDepth,
 			"write_epochs":           info.WriteEpochs,
 			"coalesced_batches":      info.CoalescedBatches,
-			"write_coalescing":       ratio(info.CoalescedBatches, info.WriteEpochs),
+			"write_coalescing":       obs.Ratio(info.CoalescedBatches, info.WriteEpochs),
 		},
 		"kernel": map[string]any{
 			"threads":     info.KernelThreads,
 			"map_tasks":   info.MapTasks,
 			"merge_tasks": info.MergeTasks,
 			"hash_tasks":  info.MapTasks - info.MergeTasks,
-			"merge_frac":  ratio(info.MergeTasks, info.MapTasks),
+			"merge_frac":  obs.Ratio(info.MergeTasks, info.MapTasks),
 		},
 		"persist": map[string]any{
 			"enabled":           info.Persist.Enabled,

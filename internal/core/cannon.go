@@ -16,8 +16,9 @@ import (
 // C[task_{x,y}] = Σ_z U_{x,(x+y+z)%q} · L_{(x+y+z)%q,y}.
 func cannonCount(c *mpi.Comm, grid *mpi.Grid, blk *blocks, opt Options) (kernelCounters, []float64) {
 	q := grid.Q()
-	pool := newKernelPool(kernelCapHint(blk), opt.kernelWorkers())
+	pool := newKernelPool(kernelCapHint(blk), opt.kernelWorkers(), opt)
 	perShift := make([]float64, 0, q)
+	trace := opt.Trace // per-rank parent span; nil (no-op) when untraced
 
 	// Current operand blocks, starting from the owned ones.
 	curU := blk.ublk
@@ -48,19 +49,28 @@ func cannonCount(c *mpi.Comm, grid *mpi.Grid, blk *blocks, opt Options) (kernelC
 		}
 		uDim, uX, uA := curU.rows, curU.xadj, curU.adj
 		lDim, lX, lA := curL.cols, curL.xadj, curL.adj
+		align := trace.StartChild("align")
 		uDim, uX, uA = shiftNaive(true, grid.Row(), kindU, uDim, uX, uA)
 		lDim, lX, lA = shiftNaive(false, grid.Col(), kindL, lDim, lX, lA)
+		align.End()
 		for z := 0; z < q; z++ {
 			u := csrBlock{rows: uDim, xadj: uX, adj: uA}
 			l := cscBlock{cols: lDim, xadj: lX, adj: lA}
 			before := c.Stats().CompTime
+			ks := trace.StartChild("kernel")
 			c.Compute(func() {
 				pool.run(&blk.task, blk.taskRows, &u, &l, opt)
 			})
+			ks.SetAttr("step", z)
+			ks.SetAttr("virtual_s", c.Stats().CompTime-before)
+			ks.End()
 			perShift = append(perShift, c.Stats().CompTime-before)
 			if z < q-1 {
+				ss := trace.StartChild("shift")
 				uDim, uX, uA = shiftNaive(true, 1, kindU, uDim, uX, uA)
 				lDim, lX, lA = shiftNaive(false, 1, kindL, lDim, lX, lA)
+				ss.SetAttr("step", z)
+				ss.End()
 			}
 		}
 		return pool.total(), perShift
@@ -70,25 +80,36 @@ func cannonCount(c *mpi.Comm, grid *mpi.Grid, blk *blocks, opt Options) (kernelC
 	// blob; decoding is pointer arithmetic into the received buffer, so a
 	// forwarded block is never re-serialized.
 	var ublob, lblob []byte
+	es := trace.StartChild("encode")
 	c.Compute(func() {
 		ublob = encodeCSRBlob(kindU, curU.rows, curU.xadj, curU.adj)
 		lblob = encodeCSRBlob(kindL, curL.cols, curL.xadj, curL.adj)
 	})
+	es.End()
+	align := trace.StartChild("align")
 	ublob = grid.ShiftRowLeft(ublob, grid.Row())
 	lblob = grid.ShiftColUp(lblob, grid.Col())
+	align.End()
 	for z := 0; z < q; z++ {
 		uDim, uX, uA := decodeCSRBlob(ublob, kindU)
 		lDim, lX, lA := decodeCSRBlob(lblob, kindL)
 		u := csrBlock{rows: uDim, xadj: uX, adj: uA}
 		l := cscBlock{cols: lDim, xadj: lX, adj: lA}
 		before := c.Stats().CompTime
+		ks := trace.StartChild("kernel")
 		c.Compute(func() {
 			pool.run(&blk.task, blk.taskRows, &u, &l, opt)
 		})
+		ks.SetAttr("step", z)
+		ks.SetAttr("virtual_s", c.Stats().CompTime-before)
+		ks.End()
 		perShift = append(perShift, c.Stats().CompTime-before)
 		if z < q-1 {
+			ss := trace.StartChild("shift")
 			ublob = grid.ShiftRowLeft(ublob, 1)
 			lblob = grid.ShiftColUp(lblob, 1)
+			ss.SetAttr("step", z)
+			ss.End()
 		}
 	}
 	return pool.total(), perShift

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"tc2d/internal/hashset"
+	"tc2d/internal/obs"
 )
 
 // kernelCounters accumulates the instrumentation the paper reports. Every
@@ -169,17 +170,30 @@ type kernelPool struct {
 	sets    []*hashset.Set
 	kcs     []kernelCounters
 	allRows []int32 // lazily materialized 0..rows-1 for NoDoublySparse
+
+	// Observability handles (nil-safe no-ops when metrics are disabled):
+	// steps counts compute steps, imbalance records max/mean LPT bucket
+	// load per parallel step — the per-step worker skew Table 3 reports
+	// between ranks, one level down.
+	steps     *obs.Counter
+	imbalance *obs.Histogram
 }
 
 // newKernelPool builds a pool of `workers` kernel workers whose sets share
-// one capacity hint (see kernelCapHint / summaCapHint).
-func newKernelPool(capHint, workers int) *kernelPool {
+// one capacity hint (see kernelCapHint / summaCapHint). The pool carries the
+// count's metric handles, resolved once per count from opt.Metrics.
+func newKernelPool(capHint, workers int, opt Options) *kernelPool {
 	if workers < 1 {
 		workers = 1
 	}
 	kp := &kernelPool{
 		sets: make([]*hashset.Set, workers),
 		kcs:  make([]kernelCounters, workers),
+		steps: opt.Metrics.Counter("tc_kernel_steps_total",
+			"Compute steps executed by the counting kernel (all ranks)."),
+		imbalance: opt.Metrics.Histogram("tc_kernel_step_imbalance",
+			"Per-step LPT bucket load imbalance (max/mean over busy workers).",
+			obs.RatioBuckets),
 	}
 	for i := range kp.sets {
 		kp.sets[i] = hashset.New(capHint)
@@ -192,6 +206,7 @@ func newKernelPool(capHint, workers int) *kernelPool {
 // inside a Compute section; the goroutines it spawns share that section's
 // slot and wall-clock measurement.
 func (kp *kernelPool) run(task *csrBlock, taskRows []int32, u *csrBlock, l *cscBlock, opt Options) {
+	kp.steps.Inc()
 	if len(kp.sets) == 1 {
 		runKernel(task, taskRows, u, l, kp.sets[0], opt, &kp.kcs[0])
 		return
@@ -206,7 +221,8 @@ func (kp *kernelPool) run(task *csrBlock, taskRows []int32, u *csrBlock, l *cscB
 		}
 		rows = kp.allRows
 	}
-	buckets := partitionLPT(rows, task, u, l, len(kp.sets))
+	buckets, loads := partitionLPT(rows, task, u, l, len(kp.sets))
+	kp.observeImbalance(loads)
 	var wg sync.WaitGroup
 	for w := range kp.sets {
 		if len(buckets[w]) == 0 {
@@ -221,6 +237,31 @@ func (kp *kernelPool) run(task *csrBlock, taskRows []int32, u *csrBlock, l *cscB
 		}(w)
 	}
 	wg.Wait()
+}
+
+// observeImbalance records max/mean over the busy (non-zero-load) LPT
+// buckets of one step. Steps with at most one busy bucket carry no balance
+// information and are skipped.
+func (kp *kernelPool) observeImbalance(loads []int64) {
+	if kp.imbalance == nil {
+		return
+	}
+	var max, sum int64
+	busy := 0
+	for _, l := range loads {
+		if l == 0 {
+			continue
+		}
+		busy++
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if busy < 2 {
+		return
+	}
+	kp.imbalance.Observe(float64(max) * float64(busy) / float64(sum))
 }
 
 // total sums the workers' private counters, deterministically in worker
@@ -240,8 +281,9 @@ func (kp *kernelPool) total() kernelCounters {
 // bucket; ties break deterministically (heavier weight, then lower row id),
 // though correctness never depends on placement: every counter is a pure sum
 // over pairs. Rows with zero weight this shift (empty U row, or every task
-// column empty) are dropped — they contribute nothing.
-func partitionLPT(rows []int32, task *csrBlock, u *csrBlock, l *cscBlock, workers int) [][]int32 {
+// column empty) are dropped — they contribute nothing. The per-bucket loads
+// are returned alongside the buckets so the pool can report worker skew.
+func partitionLPT(rows []int32, task *csrBlock, u *csrBlock, l *cscBlock, workers int) ([][]int32, []int64) {
 	type weightedRow struct {
 		a int32
 		w int64
@@ -289,7 +331,7 @@ func partitionLPT(rows []int32, task *csrBlock, u *csrBlock, l *cscBlock, worker
 		buckets[best] = append(buckets[best], r.a)
 		loads[best] += r.w
 	}
-	return buckets
+	return buckets, loads
 }
 
 // kernelCapHint sizes the intersection hash maps of the Cannon path. Keys

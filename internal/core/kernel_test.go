@@ -113,7 +113,7 @@ func TestKernelPartitionLPT(t *testing.T) {
 	u := buildCSR(6, [][]int32{uPairs})
 	l := cscBlock{cols: 1, xadj: []int32{0, 8}, adj: []int32{0, 1, 2, 3, 4, 5, 6, 7}}
 	rows := []int32{0, 1, 2, 3, 4, 5}
-	buckets := partitionLPT(rows, &task, &u, &l, 2)
+	buckets, reported := partitionLPT(rows, &task, &u, &l, 2)
 	if len(buckets) != 2 {
 		t.Fatalf("got %d buckets, want 2", len(buckets))
 	}
@@ -134,10 +134,16 @@ func TestKernelPartitionLPT(t *testing.T) {
 	if loads[0] != 10 || loads[1] != 10 {
 		t.Errorf("LPT loads %v, want perfect [10 10] on this instance", loads)
 	}
+	// The reported per-bucket loads use the min(|U-row|, |L-col|) weight,
+	// which on this instance (8-wide L column) is the row width itself.
+	if reported[0] != loads[0] || reported[1] != loads[1] {
+		t.Errorf("reported loads %v, want %v", reported, loads)
+	}
 
 	// Zero-weight rows (empty U row or all-empty task columns) are dropped.
 	emptyU := buildCSR(6, nil)
-	for _, bucket := range partitionLPT(rows, &task, &emptyU, &l, 2) {
+	noRows, _ := partitionLPT(rows, &task, &emptyU, &l, 2)
+	for _, bucket := range noRows {
 		if len(bucket) != 0 {
 			t.Errorf("zero-weight rows were assigned: %v", bucket)
 		}

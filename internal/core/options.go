@@ -19,6 +19,8 @@
 // Options so the §7.3 ablation experiments can be reproduced.
 package core
 
+import "tc2d/internal/obs"
+
 // Enumeration selects the triangle enumeration rule (§3.1 of the paper).
 type Enumeration int
 
@@ -80,6 +82,19 @@ type Options struct {
 	// barrier, so all Result counters are exact at any thread count.
 	// 0 selects min(GOMAXPROCS, NumCPU); 1 runs the sequential kernel.
 	KernelThreads int
+
+	// Metrics, when non-nil, receives kernel accounting from every count:
+	// each rank adds its local probe/task/merge counters (so the registry
+	// totals are the global sums), per-compute-step counts, and the
+	// LPT bucket load imbalance of each parallel kernel step. Nil disables
+	// all of it; both fields are pointers so Options stays comparable.
+	Metrics *obs.Registry
+	// Trace, when non-nil, is the parent span each rank hangs its count
+	// spans under: one "rank" child per rank, with per-step "shift"/
+	// "bcast" (communication) and "kernel" (compute) children whose
+	// wall-clock durations decompose the count the way the paper's §7
+	// comm-vs-comp tables do.
+	Trace *obs.Span
 }
 
 // Result reports the outcome and instrumentation of one distributed count.

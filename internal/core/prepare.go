@@ -249,6 +249,15 @@ func CountPrepared(c *mpi.Comm, prep *Prepared, opt Options) (*Result, error) {
 	}
 	res := &Result{N: prep.n, M: prep.m}
 
+	// Each rank hangs its own span tree under the caller's parent: the
+	// schedule loop adds per-step shift/bcast (communication) and kernel
+	// (compute) children, so a traced count decomposes its wall time the
+	// way §7's comm-vs-comp tables do. opt.Trace is nil for untraced
+	// counts and every span method is a no-op then.
+	rankSpan := opt.Trace.StartChild("rank")
+	rankSpan.SetAttr("rank", c.Rank())
+	opt.Trace = rankSpan
+
 	var kc kernelCounters
 	var perShift []float64
 	c.Barrier()
@@ -277,7 +286,19 @@ func CountPrepared(c *mpi.Comm, prep *Prepared, opt Options) (*Result, error) {
 	c.Barrier()
 	t2, s2 := c.Time(), c.Stats()
 
+	// Each rank contributes its local counters, so the registry totals are
+	// the global sums without double counting the (identical) allreduced
+	// values p times.
+	if reg := opt.Metrics; reg != nil {
+		reg.Counter("tc_kernel_probes_total", "Hash-map lookups performed by the counting kernel.").Add(float64(kc.probes))
+		reg.Counter("tc_kernel_map_tasks_total", "(task, shift) pairs that ran a set intersection.").Add(float64(kc.mapTasks))
+		reg.Counter("tc_kernel_merge_tasks_total", "Intersection pairs the adaptive kernel routed to the sorted-merge scan.").Add(float64(kc.mergeTasks))
+		reg.Counter("tc_kernel_merge_ops_total", "Pointer advances performed by merge-path intersections.").Add(float64(kc.mergeOps))
+	}
+
+	rs := rankSpan.StartChild("reduce")
 	sums := c.AllreduceInt64s([]int64{kc.triangles, kc.probes, kc.mapTasks, kc.mergeTasks, kc.mergeOps}, mpi.OpSum)
+	rs.End()
 	res.Triangles = sums[0]
 	res.Probes = sums[1]
 	res.MapTasks = sums[2]
@@ -300,6 +321,8 @@ func CountPrepared(c *mpi.Comm, prep *Prepared, opt Options) (*Result, error) {
 	if opt.TrackPerShift {
 		res.LocalPerShift = perShift
 	}
+	rankSpan.SetAttr("virtual_count_s", res.CountTime)
+	rankSpan.End()
 	return res, nil
 }
 

@@ -160,8 +160,9 @@ func buildSUMMA(c *mpi.Comm, grid *mpi.RectGrid, rl *relabeled, L int, enum Enum
 
 // summaCount runs the lcm(qr,qc) broadcast-and-multiply steps.
 func summaCount(c *mpi.Comm, grid *mpi.RectGrid, blk *summaBlocks, L int, opt Options) (kernelCounters, []float64) {
-	pool := newKernelPool(summaCapHint(blk), opt.kernelWorkers())
+	pool := newKernelPool(summaCapHint(blk), opt.kernelWorkers(), opt)
 	perShift := make([]float64, 0, L)
+	trace := opt.Trace // per-rank parent span; nil (no-op) when untraced
 
 	// Deterministic step order; empty buckets still broadcast an empty
 	// block so the collective stays aligned across ranks.
@@ -169,6 +170,7 @@ func summaCount(c *mpi.Comm, grid *mpi.RectGrid, blk *summaBlocks, L int, opt Op
 		uRoot := t % grid.Cols()
 		lRoot := t % grid.Rows()
 
+		bs := trace.StartChild("bcast")
 		var ublob, lblob []byte
 		if grid.Col() == uRoot {
 			b, ok := blk.uBucket[t]
@@ -186,15 +188,21 @@ func summaCount(c *mpi.Comm, grid *mpi.RectGrid, blk *summaBlocks, L int, opt Op
 			c.Compute(func() { lblob = encodeCSRBlob(kindL, b.cols, b.xadj, b.adj) })
 		}
 		lblob = grid.BcastCol(lRoot, lblob)
+		bs.SetAttr("step", t)
+		bs.End()
 
 		uDim, uX, uA := decodeCSRBlob(ublob, kindU)
 		lDim, lX, lA := decodeCSRBlob(lblob, kindL)
 		u := csrBlock{rows: uDim, xadj: uX, adj: uA}
 		l := cscBlock{cols: lDim, xadj: lX, adj: lA}
 		before := c.Stats().CompTime
+		ks := trace.StartChild("kernel")
 		c.Compute(func() {
 			pool.run(&blk.task, blk.rows, &u, &l, opt)
 		})
+		ks.SetAttr("step", t)
+		ks.SetAttr("virtual_s", c.Stats().CompTime-before)
+		ks.End()
 		perShift = append(perShift, c.Stats().CompTime-before)
 	}
 	return pool.total(), perShift

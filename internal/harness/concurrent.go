@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tc2d"
+	"tc2d/internal/obs"
 )
 
 // ConcurrentRow is one measured point of the concurrent scenario: R reader
@@ -43,14 +44,16 @@ type ConcurrentRow struct {
 // write-batch latency and both coalescing factors. The cluster runs with
 // GOMAXPROCS compute slots (wall-clock configuration): virtual-time
 // fidelity is the serialized scenarios' concern, not this one's.
-func RunConcurrent(spec Spec, p, writers, batch, queriesPerReader int, readerCounts []int) ([]ConcurrentRow, error) {
+// A non-nil reg is handed to every point's cluster as Options.Metrics, so
+// the caller's runtime self-observation can record registry deltas.
+func RunConcurrent(spec Spec, p, writers, batch, queriesPerReader int, readerCounts []int, reg *obs.Registry) ([]ConcurrentRow, error) {
 	g, err := spec.Params.Generate(spec.Scale, spec.EdgeFactor, spec.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("harness: generate %s: %w", spec.Name, err)
 	}
 	var rows []ConcurrentRow
 	for _, readers := range readerCounts {
-		row, err := runConcurrentOnce(spec, g, p, readers, writers, batch, queriesPerReader)
+		row, err := runConcurrentOnce(spec, g, p, readers, writers, batch, queriesPerReader, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -59,9 +62,9 @@ func RunConcurrent(spec Spec, p, writers, batch, queriesPerReader int, readerCou
 	return rows, nil
 }
 
-func runConcurrentOnce(spec Spec, g *tc2d.Graph, p, readers, writers, batch, queriesPerReader int) (*ConcurrentRow, error) {
+func runConcurrentOnce(spec Spec, g *tc2d.Graph, p, readers, writers, batch, queriesPerReader int, reg *obs.Registry) (*ConcurrentRow, error) {
 	t0 := time.Now()
-	cl, err := tc2d.NewCluster(g, tc2d.Options{Ranks: p, ComputeSlots: 0})
+	cl, err := tc2d.NewCluster(g, tc2d.Options{Ranks: p, ComputeSlots: 0, Metrics: reg})
 	if err != nil {
 		return nil, fmt.Errorf("harness: concurrent %s on %d ranks: %w", spec.Name, p, err)
 	}

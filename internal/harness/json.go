@@ -109,13 +109,30 @@ type jsonKernelRun struct {
 	MergeTasks int64   `json:"merge_tasks"`
 }
 
+// jsonRuntimeStat is one scenario's runtime self-observation (schema v6):
+// the benchmark process watching itself — heap high-water, allocation
+// volume, GC work — plus the delta of the resident cluster's metric
+// registry for scenarios that run one. It makes memory/GC regressions part
+// of the cross-PR perf trajectory, not just wall time.
+type jsonRuntimeStat struct {
+	Scenario      string             `json:"scenario"`
+	WallSec       float64            `json:"wall_s"`
+	PeakHeapBytes uint64             `json:"peak_heap_bytes"`
+	AllocBytes    uint64             `json:"alloc_bytes"`
+	GCCycles      uint32             `json:"gc_cycles"`
+	GCPauseSec    float64            `json:"gc_pause_s"`
+	MetricsDelta  map[string]float64 `json:"metrics_delta,omitempty"`
+}
+
 // jsonDoc is the envelope written by WriteBenchJSON; the schema is the
 // contract for the BENCH_*.json perf-trajectory records kept across PRs.
 // Schema v2 added the update_runs section; v3 added concurrent_runs (the
 // reader/writer scheduler scenario); v4 added growth_runs (the elastic
-// vertex-space scenario); v5 adds kernel_runs (the intra-rank parallel
-// kernel sweep — absent or empty when it did not run). Readers that
-// ignore unknown fields still parse older sections.
+// vertex-space scenario); v5 added kernel_runs (the intra-rank parallel
+// kernel sweep); v6 adds runtime (per-scenario self-observation of the
+// benchmark process: peak heap, GC pauses, registry deltas — absent or
+// empty when nothing was observed). Readers that ignore unknown fields
+// still parse older sections.
 type jsonDoc struct {
 	SchemaVersion int       `json:"schema_version"`
 	Generated     time.Time `json:"generated"`
@@ -129,16 +146,18 @@ type jsonDoc struct {
 	ConcurrentRuns []jsonConcurrentRun `json:"concurrent_runs,omitempty"`
 	GrowthRuns     []jsonGrowthRun     `json:"growth_runs,omitempty"`
 	KernelRuns     []jsonKernelRun     `json:"kernel_runs,omitempty"`
+	Runtime        []jsonRuntimeStat   `json:"runtime,omitempty"`
 }
 
 // WriteBenchJSON emits the benchmark measurements as a machine-readable
 // JSON document: one record per (dataset, ranks) scaling point with the
 // triangle count, parallel phase times, communication fractions, operation
 // counters and real wall time, plus one record per dynamic-update,
-// concurrent-scheduler, vertex-growth and kernel-sweep scenario point.
-func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, growth []GrowthRow, kernel []KernelRow, cfg Config) error {
+// concurrent-scheduler, vertex-growth and kernel-sweep scenario point, and
+// one runtime self-observation record per scenario that ran.
+func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, growth []GrowthRow, kernel []KernelRow, rt []RuntimeStat, cfg Config) error {
 	var doc jsonDoc
-	doc.SchemaVersion = 5
+	doc.SchemaVersion = 6
 	doc.Generated = time.Now().UTC()
 	m := cfg.model()
 	doc.CostModel.Alpha = m.Alpha
@@ -233,6 +252,17 @@ func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []Conc
 			Probes:     r.Probes,
 			MapTasks:   r.MapTasks,
 			MergeTasks: r.MergeTasks,
+		})
+	}
+	for _, r := range rt {
+		doc.Runtime = append(doc.Runtime, jsonRuntimeStat{
+			Scenario:      r.Scenario,
+			WallSec:       r.WallSec,
+			PeakHeapBytes: r.PeakHeapBytes,
+			AllocBytes:    r.AllocBytes,
+			GCCycles:      r.GCCycles,
+			GCPauseSec:    r.GCPauseSec,
+			MetricsDelta:  r.MetricsDelta,
 		})
 	}
 	enc := json.NewEncoder(w)

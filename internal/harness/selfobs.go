@@ -1,0 +1,76 @@
+package harness
+
+// Runtime self-observation: the benchmark measures not only the system
+// under test but its own process — peak heap, allocation volume, GC cycles
+// and total GC pause across each scenario, plus the delta of the cluster's
+// obs.Registry snapshot for scenarios that run a resident cluster. The
+// records land in the benchmark JSON's "runtime" section (schema v6), so a
+// perf-trajectory regression in memory or GC behaviour is as visible across
+// PRs as one in wall time.
+
+import (
+	"runtime"
+	"time"
+
+	"tc2d/internal/obs"
+)
+
+// RuntimeStat is one scenario's runtime self-observation.
+type RuntimeStat struct {
+	Scenario      string
+	WallSec       float64
+	PeakHeapBytes uint64  // heap high-water: bytes obtained from the OS for the heap
+	AllocBytes    uint64  // bytes allocated during the scenario (cumulative, freed included)
+	GCCycles      uint32  // completed GC cycles during the scenario
+	GCPauseSec    float64 // total stop-the-world pause during the scenario
+
+	// MetricsDelta is the change of the cluster registry's Snapshot over
+	// the scenario (nonzero entries only); nil when the scenario ran no
+	// resident cluster or published nothing.
+	MetricsDelta map[string]float64
+}
+
+// RuntimeObs captures the process state at a scenario's start; Stop turns
+// it into the deltas of a RuntimeStat. reg may be nil (no registry deltas).
+type RuntimeObs struct {
+	t0    time.Time
+	start runtime.MemStats
+	reg   *obs.Registry
+	base  map[string]float64
+}
+
+// StartRuntimeObs begins observing the benchmark process itself.
+func StartRuntimeObs(reg *obs.Registry) *RuntimeObs {
+	o := &RuntimeObs{t0: time.Now(), reg: reg}
+	runtime.ReadMemStats(&o.start)
+	if reg != nil {
+		o.base = reg.Snapshot()
+	}
+	return o
+}
+
+// Stop finishes the observation and labels it with the scenario name.
+func (o *RuntimeObs) Stop(scenario string) RuntimeStat {
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	st := RuntimeStat{
+		Scenario:      scenario,
+		WallSec:       time.Since(o.t0).Seconds(),
+		PeakHeapBytes: end.HeapSys,
+		AllocBytes:    end.TotalAlloc - o.start.TotalAlloc,
+		GCCycles:      end.NumGC - o.start.NumGC,
+		GCPauseSec:    float64(end.PauseTotalNs-o.start.PauseTotalNs) / 1e9,
+	}
+	if o.reg != nil {
+		delta := make(map[string]float64)
+		for k, v := range o.reg.Snapshot() {
+			if d := v - o.base[k]; d != 0 {
+				delta[k] = d
+			}
+		}
+		if len(delta) > 0 {
+			st.MetricsDelta = delta
+		}
+	}
+	return st
+}

@@ -40,8 +40,11 @@ import (
 	"math"
 	"math/bits"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
+
+	"tc2d/internal/obs"
 )
 
 // CostModel parameterizes the communication cost model. Sending b bytes makes
@@ -80,6 +83,12 @@ type Config struct {
 	// The default (16) comfortably covers the bounded skew of the
 	// collectives and Cannon shift patterns used here.
 	PairCap int
+	// Metrics, when non-nil, receives per-epoch accounting: epoch counts
+	// and wall durations by kind (read/write) and each rank's cumulative
+	// virtual comm/comp time, wall compute time, and bytes/messages sent.
+	// Historically every epoch's per-rank Stats died with the epoch; the
+	// registry is where they accumulate instead.
+	Metrics *obs.Registry
 }
 
 type message struct {
@@ -171,6 +180,46 @@ type World struct {
 	epochMu sync.RWMutex
 	active  map[int]*epochState // in-flight epochs by id (TCP routing)
 	epPool  sync.Pool           // recycled epochStates (error-free epochs only)
+
+	metrics *worldMetrics // nil when Config.Metrics was nil
+}
+
+// worldMetrics holds the pre-resolved metric handles an instrumented world
+// publishes into. Handles are resolved once at NewWorld so the per-epoch
+// cost is a handful of atomic adds, not registry lookups.
+type worldMetrics struct {
+	epochsRead   *obs.Counter
+	epochsWrite  *obs.Counter
+	secondsRead  *obs.Histogram
+	secondsWrite *obs.Histogram
+
+	// Per-rank cumulative accounting, indexed by rank.
+	commSeconds []*obs.Counter // virtual seconds attributed to communication
+	compSeconds []*obs.Counter // virtual seconds attributed to compute
+	wallComp    []*obs.Counter // real seconds inside Compute sections
+	bytesSent   []*obs.Counter
+	msgsSent    []*obs.Counter
+}
+
+func newWorldMetrics(reg *obs.Registry, p int) *worldMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &worldMetrics{
+		epochsRead:   reg.Counter("tc_mpi_epochs_total", "SPMD epochs run, by kind.", obs.L("kind", "read")),
+		epochsWrite:  reg.Counter("tc_mpi_epochs_total", "SPMD epochs run, by kind.", obs.L("kind", "write")),
+		secondsRead:  reg.Histogram("tc_mpi_epoch_seconds", "Wall-clock epoch duration, by kind.", obs.DurationBuckets, obs.L("kind", "read")),
+		secondsWrite: reg.Histogram("tc_mpi_epoch_seconds", "Wall-clock epoch duration, by kind.", obs.DurationBuckets, obs.L("kind", "write")),
+	}
+	for r := 0; r < p; r++ {
+		rl := obs.L("rank", strconv.Itoa(r))
+		m.commSeconds = append(m.commSeconds, reg.Counter("tc_mpi_rank_comm_seconds_total", "Cumulative virtual communication time per rank.", rl))
+		m.compSeconds = append(m.compSeconds, reg.Counter("tc_mpi_rank_comp_seconds_total", "Cumulative virtual compute time per rank.", rl))
+		m.wallComp = append(m.wallComp, reg.Counter("tc_mpi_rank_wall_comp_seconds_total", "Cumulative real time inside Compute sections per rank.", rl))
+		m.bytesSent = append(m.bytesSent, reg.Counter("tc_mpi_rank_bytes_sent_total", "Cumulative bytes sent per rank.", rl))
+		m.msgsSent = append(m.msgsSent, reg.Counter("tc_mpi_rank_msgs_sent_total", "Cumulative messages sent per rank.", rl))
+	}
+	return m
 }
 
 // NewWorld creates a world with p ranks.
@@ -193,6 +242,7 @@ func NewWorld(p int, cfg Config) *World {
 		w.slots <- struct{}{}
 	}
 	w.active = make(map[int]*epochState)
+	w.metrics = newWorldMetrics(cfg.Metrics, p)
 	return w
 }
 
@@ -254,7 +304,7 @@ func (j job) run(c *Comm) {
 func (w *World) Run(fn RankFunc) ([]any, error) {
 	w.gate.Lock()
 	defer w.gate.Unlock()
-	return w.runEpoch(fn)
+	return w.runEpoch(fn, epochWrite)
 }
 
 // RunRead executes fn on every rank concurrently as a read-only epoch:
@@ -271,15 +321,26 @@ func (w *World) Run(fn RankFunc) ([]any, error) {
 func (w *World) RunRead(fn RankFunc) ([]any, error) {
 	w.gate.RLock()
 	defer w.gate.RUnlock()
-	return w.runEpoch(fn)
+	return w.runEpoch(fn, epochRead)
 }
+
+// epochKind distinguishes exclusive (write) epochs from concurrent read
+// epochs in the published metrics.
+type epochKind int
+
+const (
+	epochWrite epochKind = iota
+	epochRead
+)
 
 // runEpoch spawns one epoch's rank workers — each with a fresh Comm
 // (virtual clock and stats reset) bound to the epoch's comm namespace —
 // and collects their results. Workers survive panics, so the world stays
 // usable for further epochs. The caller holds the gate (shared or
-// exclusive).
-func (w *World) runEpoch(fn RankFunc) ([]any, error) {
+// exclusive). When the world carries a registry, the epoch retains its
+// per-rank Comms and publishes their Stats before returning, instead of
+// dropping them with the epoch.
+func (w *World) runEpoch(fn RankFunc, kind epochKind) ([]any, error) {
 	w.lifeMu.Lock()
 	if w.closed {
 		w.lifeMu.Unlock()
@@ -294,15 +355,35 @@ func (w *World) runEpoch(fn RankFunc) ([]any, error) {
 	w.active[id] = ep
 	w.epochMu.Unlock()
 
+	start := time.Now()
 	results := make([]any, w.size)
 	errs := make([]error, w.size)
+	comms := make([]*Comm, w.size)
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	j := job{fn: fn, ep: ep, results: results, errs: errs, wg: &wg}
 	for r := 0; r < w.size; r++ {
-		go j.run(&Comm{world: w, rank: r, ep: ep})
+		comms[r] = &Comm{world: w, rank: r, ep: ep}
+		go j.run(comms[r])
 	}
 	wg.Wait()
+
+	if m := w.metrics; m != nil {
+		epochs, seconds := m.epochsWrite, m.secondsWrite
+		if kind == epochRead {
+			epochs, seconds = m.epochsRead, m.secondsRead
+		}
+		epochs.Inc()
+		seconds.Observe(time.Since(start).Seconds())
+		for r, c := range comms {
+			s := c.stats
+			m.commSeconds[r].Add(s.CommTime)
+			m.compSeconds[r].Add(s.CompTime)
+			m.wallComp[r].Add(s.WallComp)
+			m.bytesSent[r].Add(float64(s.BytesSent))
+			m.msgsSent[r].Add(float64(s.MsgsSent))
+		}
+	}
 
 	// Deregister before any recycling: once the id is gone, a straggling
 	// TCP frame can only be dropped, never land in a reused namespace.

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedMetrics is the result of parsing a Prometheus text-exposition
+// payload with ParseExposition: every value line keyed by its full series
+// identity ("name" or `name{a="b"}`), plus the TYPE declared for each
+// family.
+type ParsedMetrics struct {
+	// Series maps the full series identity (including labels, exactly as
+	// exposed) to its value.
+	Series map[string]float64
+	// Types maps family name → declared TYPE (counter/gauge/histogram).
+	Types map[string]string
+}
+
+// Has reports whether a series with the given identity was exposed.
+func (p *ParsedMetrics) Has(series string) bool {
+	_, ok := p.Series[series]
+	return ok
+}
+
+// Families returns the distinct family names that contributed at least one
+// value line, attributing histogram _bucket/_sum/_count lines back to their
+// base family when it declared TYPE histogram.
+func (p *ParsedMetrics) Families() []string {
+	seen := make(map[string]bool)
+	for id := range p.Series {
+		name := id
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && p.Types[base] == "histogram" {
+				name = base
+				break
+			}
+		}
+		seen[name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseExposition parses and validates a Prometheus text-format (v0.0.4)
+// payload. It is deliberately minimal — it accepts the subset Expose
+// produces — but strict within it: it rejects value lines for families with
+// no preceding # TYPE, malformed label blocks, unparseable values, and
+// histograms whose cumulative buckets decrease or whose +Inf bucket
+// disagrees with _count. This is what the CI smoke test and the golden
+// tests run over a live /metrics body.
+func ParseExposition(r io.Reader) (*ParsedMetrics, error) {
+	p := &ParsedMetrics{
+		Series: make(map[string]float64),
+		Types:  make(map[string]string),
+	}
+	helped := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineno, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				helped[fields[2]] = true
+			case "TYPE":
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("line %d: TYPE without kind", lineno)
+				}
+				kind := fields[3]
+				if kind != "counter" && kind != "gauge" && kind != "histogram" {
+					return nil, fmt.Errorf("line %d: unknown TYPE %q", lineno, kind)
+				}
+				if _, dup := p.Types[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineno, fields[2])
+				}
+				p.Types[fields[2]] = kind
+			default:
+				return nil, fmt.Errorf("line %d: unknown comment %q", lineno, fields[1])
+			}
+			continue
+		}
+		id, val, err := parseValueLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		if _, dup := p.Series[id]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %q", lineno, id)
+		}
+		name := id
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !typedFamily(p.Types, name) {
+			return nil, fmt.Errorf("line %d: series %q has no # TYPE", lineno, id)
+		}
+		p.Series[id] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.validateHistograms(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// typedFamily reports whether the series name belongs to a declared family,
+// accounting for histogram suffixes.
+func typedFamily(types map[string]string, name string) bool {
+	if _, ok := types[name]; ok {
+		return true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseValueLine splits `name{labels} value` into identity and value,
+// validating the label block's shape.
+func parseValueLine(line string) (id string, val float64, err error) {
+	// The value is everything after the last space outside the label block;
+	// Expose never emits spaces inside label values' surrounding syntax
+	// except within quoted values, so scan from the right for a space that
+	// follows the closing brace (or the bare name).
+	close := strings.LastIndexByte(line, '}')
+	var namePart, valPart string
+	if close >= 0 {
+		rest := strings.TrimSpace(line[close+1:])
+		if rest == "" {
+			return "", 0, fmt.Errorf("no value after label block in %q", line)
+		}
+		namePart, valPart = line[:close+1], rest
+	} else {
+		i := strings.IndexByte(line, ' ')
+		if i < 0 {
+			return "", 0, fmt.Errorf("no value in %q", line)
+		}
+		namePart, valPart = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	if open := strings.IndexByte(namePart, '{'); open >= 0 {
+		if close < 0 || close < open {
+			return "", 0, fmt.Errorf("unbalanced label block in %q", line)
+		}
+		if err := validateLabels(namePart[open+1 : close]); err != nil {
+			return "", 0, fmt.Errorf("%w in %q", err, line)
+		}
+	} else if close >= 0 {
+		return "", 0, fmt.Errorf("unbalanced label block in %q", line)
+	}
+	v, err := parseValue(valPart)
+	if err != nil {
+		return "", 0, err
+	}
+	return namePart, v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return inf(1), nil
+	case "-Inf":
+		return inf(-1), nil
+	case "NaN":
+		return nan(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// validateLabels checks a label block body is a comma-separated sequence of
+// name="value" pairs with sane escaping.
+func validateLabels(body string) error {
+	if body == "" {
+		return fmt.Errorf("empty label block")
+	}
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair")
+		}
+		name := body[i : i+eq]
+		for _, c := range name {
+			if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+				return fmt.Errorf("bad label name %q", name)
+			}
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		i++ // past opening quote
+		for {
+			if i >= len(body) {
+				return fmt.Errorf("unterminated label value")
+			}
+			if body[i] == '\\' {
+				i += 2
+				continue
+			}
+			if body[i] == '"' {
+				break
+			}
+			i++
+		}
+		i++ // past closing quote
+		if i < len(body) {
+			if body[i] != ',' {
+				return fmt.Errorf("junk after label value")
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// validateHistograms checks, per histogram series, that cumulative bucket
+// counts are non-decreasing in le order and that the +Inf bucket equals the
+// _count series.
+func (p *ParsedMetrics) validateHistograms() error {
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	groups := make(map[string][]bucket) // family+base labels → buckets
+	for id, val := range p.Series {
+		name := id
+		labels := ""
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			name, labels = id[:i], id[i+1:len(id)-1]
+		}
+		base := strings.TrimSuffix(name, "_bucket")
+		if base == name || p.Types[base] != "histogram" {
+			continue
+		}
+		var le string
+		var rest []string
+		for _, pair := range splitLabelPairs(labels) {
+			if strings.HasPrefix(pair, "le=") {
+				le = strings.Trim(pair[3:], `"`)
+			} else {
+				rest = append(rest, pair)
+			}
+		}
+		if le == "" {
+			return fmt.Errorf("histogram bucket %q missing le", id)
+		}
+		lv, err := parseValue(le)
+		if err != nil {
+			return fmt.Errorf("histogram bucket %q: bad le: %w", id, err)
+		}
+		key := base + "{" + strings.Join(rest, ",") + "}"
+		groups[key] = append(groups[key], bucket{le: lv, val: val})
+	}
+	for key, bs := range groups {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].val < bs[i-1].val {
+				return fmt.Errorf("histogram %s: cumulative buckets decrease at le=%g", key, bs[i].le)
+			}
+		}
+		inf := bs[len(bs)-1]
+		if !isInf(inf.le) {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", key)
+		}
+		base := strings.TrimSuffix(key, "{}")
+		countID := strings.Replace(key, "{", "_count{", 1)
+		if base != key {
+			countID = base + "_count"
+		}
+		cnt, ok := p.Series[countID]
+		if !ok {
+			return fmt.Errorf("histogram %s: missing _count series", key)
+		}
+		if cnt != inf.val {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", key, inf.val, cnt)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits a label-block body on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	if body == "" {
+		return nil
+	}
+	var out []string
+	start, inQ := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if inQ {
+				i++
+			}
+		case '"':
+			inQ = !inQ
+		case ',':
+			if !inQ {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, body[start:])
+}
+
+func inf(sign int) float64 { return math.Inf(sign) }
+
+func nan() float64 { return math.NaN() }
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }

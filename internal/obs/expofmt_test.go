@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text Expose emits for a small,
+// deterministic registry, then feeds it back through the validator.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tc_queries_total", "Queries served.", L("op", "count")).Add(4)
+	r.Counter("tc_queries_total", "Queries served.", L("op", "update")).Add(1)
+	r.Gauge("tc_graph_vertices", "Resident vertex count.").Set(1024)
+	h := r.Histogram("tc_query_seconds", "Query latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(2.5)
+
+	const golden = `# HELP tc_queries_total Queries served.
+# TYPE tc_queries_total counter
+tc_queries_total{op="count"} 4
+tc_queries_total{op="update"} 1
+# HELP tc_graph_vertices Resident vertex count.
+# TYPE tc_graph_vertices gauge
+tc_graph_vertices 1024
+# HELP tc_query_seconds Query latency.
+# TYPE tc_query_seconds histogram
+tc_query_seconds_bucket{le="0.01"} 1
+tc_query_seconds_bucket{le="0.1"} 3
+tc_query_seconds_bucket{le="1"} 3
+tc_query_seconds_bucket{le="+Inf"} 4
+tc_query_seconds_sum 2.605
+tc_query_seconds_count 4
+`
+	var sb strings.Builder
+	n, err := r.Expose(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != golden {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), golden)
+	}
+	// 2 counters + 1 gauge + (4 buckets + sum + count)
+	if n != 9 {
+		t.Fatalf("series lines = %d, want 9", n)
+	}
+
+	p, err := ParseExposition(strings.NewReader(golden))
+	if err != nil {
+		t.Fatalf("validator rejected our own output: %v", err)
+	}
+	if !p.Has(`tc_queries_total{op="count"}`) || p.Series[`tc_queries_total{op="count"}`] != 4 {
+		t.Fatalf("parsed series: %v", p.Series)
+	}
+	if p.Types["tc_query_seconds"] != "histogram" {
+		t.Fatalf("types: %v", p.Types)
+	}
+	fams := p.Families()
+	want := []string{"tc_graph_vertices", "tc_queries_total", "tc_query_seconds"}
+	if len(fams) != len(want) {
+		t.Fatalf("families = %v, want %v", fams, want)
+	}
+	for i := range want {
+		if fams[i] != want[i] {
+			t.Fatalf("families = %v, want %v", fams, want)
+		}
+	}
+}
+
+// TestParserRejectsMalformed enumerates payloads the validator must refuse.
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "orphan_metric 1\n",
+		"bad value":        "# TYPE m counter\nm abc\n",
+		"unbalanced brace": "# TYPE m counter\nm{a=\"b\" 1\n",
+		"unquoted label":   "# TYPE m counter\nm{a=b} 1\n",
+		"bad label name":   "# TYPE m counter\nm{a-b=\"c\"} 1\n",
+		"duplicate series": "# TYPE m counter\nm 1\nm 2\n",
+		"duplicate TYPE":   "# TYPE m counter\n# TYPE m gauge\nm 1\n",
+		"unknown TYPE":     "# TYPE m summary\nm 1\n",
+		"decreasing buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+		"bucket/count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+	}
+	for name, payload := range cases {
+		if _, err := ParseExposition(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, payload)
+		}
+	}
+}
+
+// TestParserAcceptsEscapes checks escaped label values survive the round
+// trip.
+func TestParserAcceptsEscapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "t", L("path", `a"b\c`)).Inc()
+	var sb strings.Builder
+	if _, err := r.Expose(&sb); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("escape round trip: %v\n%s", err, sb.String())
+	}
+	if len(p.Series) != 1 {
+		t.Fatalf("series: %v", p.Series)
+	}
+}
+
+// TestLabeledHistogramExposition checks the le label merges with series
+// labels and the per-series histogram invariants hold.
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "t", []float64{0.1}, L("op", "count")).Observe(0.05)
+	r.Histogram("lat_seconds", "t", nil, L("op", "update")).Observe(5)
+	var sb strings.Builder
+	if _, err := r.Expose(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	p, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if p.Series[`lat_seconds_bucket{op="count",le="0.1"}`] != 1 {
+		t.Fatalf("series: %v", p.Series)
+	}
+	if p.Series[`lat_seconds_count{op="update"}`] != 1 {
+		t.Fatalf("series: %v", p.Series)
+	}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent drives a counter from many goroutines and requires
+// the final value to be bit-exact — the CAS loop must not lose increments.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("obs_test_total", "test counter")
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %v, want %d", got, workers*per)
+	}
+}
+
+// TestGaugeConcurrentAdd checks the gauge's add loop under contention with
+// mixed signs.
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("obs_test_gauge", "test gauge")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if w%2 == 0 {
+					g.Add(2)
+				} else {
+					g.Add(-1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := float64(workers/2*per*2 - workers/2*per)
+	if got := g.Value(); got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentSnapshot races Snapshot/Expose against live mutation: the
+// point is that -race stays quiet and every observed value is one the
+// counter actually passed through (monotone).
+func TestConcurrentSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("obs_snap_total", "t")
+	h := r.Histogram("obs_snap_seconds", "t", DurationBuckets)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			c.Inc()
+			h.Observe(0.01)
+		}
+	}()
+	var last float64
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		v := snap["obs_snap_total"]
+		if v < last {
+			t.Fatalf("snapshot went backwards: %v after %v", v, last)
+		}
+		last = v
+		var sb strings.Builder
+		if _, err := r.Expose(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseExposition(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("mid-flight exposition invalid: %v", err)
+		}
+	}
+	<-done
+	if got := c.Value(); got != 5000 {
+		t.Fatalf("counter = %v, want 5000", got)
+	}
+}
+
+// TestHistogramBoundaries pins the le semantics: a value exactly on a bound
+// counts in that bucket, just above goes to the next, and the +Inf bucket
+// always equals _count.
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("obs_bounds", "t", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 5, 5.1, 100} {
+		h.Observe(v)
+	}
+	// Non-cumulative per-bucket expectations:
+	// (≤1): 0.5, 1  → 2 ; (≤2): 1.0000001, 2 → 2 ; (≤5): 5 → 1 ; +Inf: 5.1, 100 → 2
+	want := []int64{2, 2, 1, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	wantSum := 0.5 + 1 + 1.0000001 + 2 + 5 + 5.1 + 100
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unsorted buckets")
+		}
+	}()
+	r := NewRegistry()
+	r.Histogram("bad", "t", []float64{1, 1})
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative counter add")
+		}
+	}()
+	NewRegistry().Counter("c_total", "t").Add(-1)
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("same_name", "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r.Gauge("same_name", "t")
+}
+
+// TestLabeledSeries checks label order insensitivity and distinctness.
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ops_total", "t", L("op", "count"), L("mode", "read"))
+	b := r.Counter("ops_total", "t", L("mode", "read"), L("op", "count"))
+	if a != b {
+		t.Fatal("label order should resolve to the same series")
+	}
+	c := r.Counter("ops_total", "t", L("op", "update"), L("mode", "write"))
+	if a == c {
+		t.Fatal("distinct label sets must be distinct series")
+	}
+	a.Add(3)
+	c.Inc()
+	snap := r.Snapshot()
+	if snap[`ops_total{mode="read",op="count"}`] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap[`ops_total{mode="write",op="update"}`] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+// TestNilRegistry: the disabled path must be fully inert.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "t").Inc()
+	r.Gauge("x", "t").Set(3)
+	r.Histogram("x_seconds", "t", nil).Observe(1)
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	var sb strings.Builder
+	n, err := r.Expose(&sb)
+	if n != 0 || err != nil || sb.Len() != 0 {
+		t.Fatal("nil registry must expose nothing")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("zero denominator must yield 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatal("ratio arithmetic")
+	}
+}

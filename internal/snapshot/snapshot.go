@@ -103,13 +103,13 @@ const (
 	blobMagic = uint32(0x54435342) // "TCSB"
 )
 
-func snapDirName(seq uint64) string  { return fmt.Sprintf("%s%016x", snapPrefix, seq) }
+func snapDirName(seq uint64) string { return fmt.Sprintf("%s%016x", snapPrefix, seq) }
 
 // Dir returns the published directory of snapshot seq under the
 // persistence root.
 func Dir(root string, seq uint64) string { return filepath.Join(root, snapDirName(seq)) }
-func walFileName(base uint64) string { return fmt.Sprintf("%s%016x%s", walPrefix, base, walSuffix) }
-func rankFileName(rank int) string   { return fmt.Sprintf("rank-%04d.bin", rank) }
+func walFileName(base uint64) string     { return fmt.Sprintf("%s%016x%s", walPrefix, base, walSuffix) }
+func rankFileName(rank int) string       { return fmt.Sprintf("rank-%04d.bin", rank) }
 
 // parseSeq extracts the hex sequence from a snap-/wal- name; ok is false
 // for foreign files.

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // The write-ahead log. One segment file per snapshot interval:
@@ -38,6 +39,19 @@ type WAL struct {
 	sync    bool
 	records int64
 	bytes   int64
+
+	// onAppend, when set, receives per-append latency (the record write and
+	// the fsync timed separately; fsync < 0 when syncing is disabled) and
+	// the framed record size. Appends are not timed at all without it.
+	onAppend func(write, fsync time.Duration, bytes int)
+}
+
+// SetObserver installs the per-append callback. The package deliberately
+// does not depend on any metrics layer: the owner adapts the callback onto
+// whatever registry it uses. Must be set before concurrent use; the
+// observer survives Rotate.
+func (w *WAL) SetObserver(fn func(write, fsync time.Duration, bytes int)) {
+	w.onAppend = fn
 }
 
 // CreateWAL opens segment wal-<base>.log for appending, creating it (with
@@ -95,13 +109,31 @@ func (w *WAL) Append(seq uint64, payload []byte) error {
 	var seqb []byte
 	seqb = appendU64(seqb, seq)
 	rec = appendU32(rec, crc32Concat(seqb, payload))
+	var t0 time.Time
+	if w.onAppend != nil {
+		t0 = time.Now()
+	}
 	if _, err := w.f.Write(rec); err != nil {
 		return err
 	}
+	writeDur, syncDur := time.Duration(0), time.Duration(-1)
+	if w.onAppend != nil {
+		writeDur = time.Since(t0)
+	}
 	if w.sync {
+		var t1 time.Time
+		if w.onAppend != nil {
+			t1 = time.Now()
+		}
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
+		if w.onAppend != nil {
+			syncDur = time.Since(t1)
+		}
+	}
+	if w.onAppend != nil {
+		w.onAppend(writeDur, syncDur, len(rec))
 	}
 	w.seq = seq
 	w.records++

@@ -1,0 +1,203 @@
+package tc2d
+
+// Cluster observability: every resident cluster owns (or is handed via
+// Options.Metrics) an obs.Registry, and publishes into it from every layer —
+// the mpi runtime (epoch and per-rank comm/comp totals), the counting kernel
+// (steps, probes, intersection mix, worker imbalance), the epoch scheduler
+// (admission and queue waits, coalescing), and the durability path (WAL
+// append/fsync latency, snapshot size and duration). The handles are
+// resolved once here, so the hot paths pay a few atomic operations per
+// event; with metrics disabled (one-shot counts without Options.Metrics)
+// every handle is nil and the instrumented code no-ops.
+
+import (
+	"time"
+
+	"tc2d/internal/obs"
+)
+
+// batchBuckets sizes the write-coalescing histogram: batches per write epoch.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// clusterMetrics carries the cluster-layer metric handles. A nil
+// *clusterMetrics (or one built over a nil registry) is fully inert.
+type clusterMetrics struct {
+	reg *obs.Registry
+
+	// Per-operation query accounting, keyed by op label
+	// (count, transitivity, update, snapshot).
+	queries   map[string]*obs.Counter
+	queryErrs map[string]*obs.Counter
+	latency   map[string]*obs.Histogram
+
+	// Scheduler.
+	admissionWait *obs.Histogram
+	flightShared  *obs.Counter
+	queueWait     *obs.Histogram
+	queueDepth    *obs.Gauge
+	writeEpochs   *obs.Counter
+	writeEpochSec *obs.Histogram
+	absorbed      *obs.Counter
+	deferred      *obs.Counter
+	coalesceSize  *obs.Histogram
+	rebuilds      *obs.Counter
+
+	// Resident graph state.
+	vertices  *obs.Gauge
+	edges     *obs.Gauge
+	triangles *obs.Gauge
+	overflow  *obs.Gauge
+
+	// Durability: WAL appends (write vs fsync split) and snapshots.
+	walAppends   *obs.Counter
+	walAppendSec *obs.Histogram
+	walFsyncs    *obs.Counter
+	walFsyncSec  *obs.Histogram
+	walBytes     *obs.Counter
+	walReplayed  *obs.Counter
+	snapWrites   *obs.Counter
+	snapSeconds  *obs.Histogram
+	snapBytes    *obs.Histogram
+	snapLastSeq  *obs.Gauge
+}
+
+// queryOps are the operation labels of the query-level series.
+var queryOps = []string{"count", "transitivity", "update", "snapshot"}
+
+// newClusterMetrics resolves every cluster-layer handle against reg. All
+// handles are nil (inert) when reg is nil.
+func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
+	m := &clusterMetrics{
+		reg:       reg,
+		queries:   make(map[string]*obs.Counter, len(queryOps)),
+		queryErrs: make(map[string]*obs.Counter, len(queryOps)),
+		latency:   make(map[string]*obs.Histogram, len(queryOps)),
+
+		admissionWait: reg.Histogram("tc_sched_admission_wait_seconds",
+			"Time read-path callers waited for scheduler admission (shared gate).",
+			obs.DurationBuckets),
+		flightShared: reg.Counter("tc_sched_read_flights_shared_total",
+			"Queries served by joining another query's in-flight counting epoch."),
+		queueWait: reg.Histogram("tc_sched_queue_wait_seconds",
+			"Time write batches spent queued before a drain accepted them.",
+			obs.DurationBuckets),
+		queueDepth: reg.Gauge("tc_sched_queue_depth",
+			"Write callers currently enqueued or in flight."),
+		writeEpochs: reg.Counter("tc_sched_write_epochs_total",
+			"Exclusive write epochs run by the scheduler."),
+		writeEpochSec: reg.Histogram("tc_sched_write_epoch_seconds",
+			"Wall time of one exclusive write epoch (delta apply, all ranks).",
+			obs.DurationBuckets),
+		absorbed: reg.Counter("tc_sched_absorbed_batches_total",
+			"Caller batches coalesced into write epochs."),
+		deferred: reg.Counter("tc_sched_deferred_batches_total",
+			"Caller batches deferred to a later drain by a cross-batch conflict."),
+		coalesceSize: reg.Histogram("tc_sched_coalesce_batches",
+			"Caller batches absorbed per write epoch.", batchBuckets),
+		rebuilds: reg.Counter("tc_cluster_rebuilds_total",
+			"Staleness (or explicit) rebuilds of the resident blocks."),
+
+		vertices: reg.Gauge("tc_graph_vertices",
+			"Vertices of the resident graph."),
+		edges: reg.Gauge("tc_graph_edges",
+			"Undirected edges of the resident graph."),
+		triangles: reg.Gauge("tc_graph_triangles",
+			"Maintained triangle total (-1 until the first count completes)."),
+		overflow: reg.Gauge("tc_graph_overflow_vertices",
+			"Vertices admitted since the last build (outside the degree-ordered layout)."),
+
+		walAppends: reg.Counter("tc_wal_appends_total",
+			"Committed super-batches appended to the write-ahead log."),
+		walAppendSec: reg.Histogram("tc_wal_append_seconds",
+			"WAL record write latency, excluding the fsync.", obs.DurationBuckets),
+		walFsyncs: reg.Counter("tc_wal_fsyncs_total",
+			"Per-commit WAL fsyncs performed."),
+		walFsyncSec: reg.Histogram("tc_wal_fsync_seconds",
+			"Per-commit WAL fsync latency.", obs.DurationBuckets),
+		walBytes: reg.Counter("tc_wal_bytes_total",
+			"Bytes appended to the write-ahead log (framing included)."),
+		walReplayed: reg.Counter("tc_wal_replayed_batches_total",
+			"WAL batches replayed while restoring the cluster."),
+		snapWrites: reg.Counter("tc_snapshot_writes_total",
+			"Snapshots encoded and published."),
+		snapSeconds: reg.Histogram("tc_snapshot_seconds",
+			"End-to-end snapshot duration (encode epoch, writes, commit, rotate).",
+			obs.DurationBuckets),
+		snapBytes: reg.Histogram("tc_snapshot_bytes",
+			"Total size of the per-rank state blobs of one snapshot.",
+			obs.SizeBuckets),
+		snapLastSeq: reg.Gauge("tc_snapshot_last_seq",
+			"WAL sequence covered by the newest published snapshot."),
+	}
+	for _, op := range queryOps {
+		m.queries[op] = reg.Counter("tc_queries_total",
+			"Completed cluster operations by kind.", obs.L("op", op))
+		m.queryErrs[op] = reg.Counter("tc_query_errors_total",
+			"Failed cluster operations by kind.", obs.L("op", op))
+		m.latency[op] = reg.Histogram("tc_query_seconds",
+			"End-to-end operation latency by kind, admission wait included.",
+			obs.DurationBuckets, obs.L("op", op))
+	}
+	return m
+}
+
+// registry returns the underlying registry (nil when metrics are disabled).
+func (m *clusterMetrics) registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// observeOp records one completed operation: its counter, latency and —
+// when it failed — the error counter.
+func (m *clusterMetrics) observeOp(op string, start time.Time, err error) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.latency[op].Observe(time.Since(start).Seconds())
+	if err != nil {
+		m.queryErrs[op].Inc()
+		return
+	}
+	m.queries[op].Inc()
+}
+
+// walObserver adapts the WAL's append callback onto the registry; nil when
+// metrics are disabled, so the WAL skips its timing calls entirely.
+func (m *clusterMetrics) walObserver() func(write, fsync time.Duration, bytes int) {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	return func(write, fsync time.Duration, bytes int) {
+		m.walAppends.Inc()
+		m.walAppendSec.Observe(write.Seconds())
+		m.walBytes.Add(float64(bytes))
+		if fsync >= 0 {
+			m.walFsyncs.Inc()
+			m.walFsyncSec.Observe(fsync.Seconds())
+		}
+	}
+}
+
+// syncGraphMetrics refreshes the resident-graph gauges. Called where the
+// graph can have changed (build, write epochs, rebuilds) and from Info(),
+// so a scrape always sees current totals. The caller holds sched.gate.
+func (cl *Cluster) syncGraphMetrics() {
+	m := cl.metrics
+	if m == nil || m.reg == nil {
+		return
+	}
+	p0 := cl.prep[0]
+	m.vertices.Set(float64(p0.N()))
+	m.edges.Set(float64(p0.M()))
+	m.triangles.Set(float64(cl.lastTri.Load()))
+	m.overflow.Set(float64(p0.Space().OverflowN()))
+}
+
+// Metrics returns the cluster's observability registry — the one passed in
+// Options.Metrics, or the private registry NewCluster created. Serve it
+// with obs.Registry.Expose (tcd's GET /metrics does) or poll Snapshot.
+func (cl *Cluster) Metrics() *obs.Registry {
+	return cl.metrics.registry()
+}

@@ -1,0 +1,332 @@
+package tc2d
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"tc2d/internal/obs"
+)
+
+// Observability tests: the cluster's registry must expose the full
+// cross-layer series set through a valid Prometheus text payload, and the
+// traced entry points must return span trees whose phase durations nest
+// consistently inside the measured wall time.
+
+// exerciseCluster drives one of everything that publishes metrics: a count,
+// an ablation count (distinct flight), a transitivity query, an update
+// batch, and — when the cluster is durable — a snapshot.
+func exerciseCluster(t *testing.T, cl *Cluster, durable bool) {
+	t.Helper()
+	if _, err := cl.Count(QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Count(QueryOptions{NoAdaptiveIntersect: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Transitivity(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ApplyUpdates([]EdgeUpdate{{U: 1, V: 2}, {U: 3, V: 5}, {U: 2, V: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if durable {
+		if _, err := cl.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterMetricsExposition: after one of each operation, the registry's
+// exposition must parse under the strict validator and cover every
+// subsystem — ≥ 25 distinct families spanning query latency, scheduler,
+// kernel, per-rank epoch accounting and durability I/O.
+func TestClusterMetricsExposition(t *testing.T) {
+	g := testClusterGraph(t)
+	cl, err := NewCluster(g, Options{Ranks: 4, PersistDir: t.TempDir(), DisableAutoSnapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	exerciseCluster(t, cl, true)
+
+	cl.Info() // refresh the graph gauges, as tcd's scrape handler does
+	var buf bytes.Buffer
+	n, err := cl.Metrics().Expose(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("Expose wrote no series")
+	}
+	p, err := obs.ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition did not validate: %v\n%s", err, buf.String())
+	}
+	fams := p.Families()
+	if len(fams) < 25 {
+		t.Errorf("exposed %d families, want >= 25: %v", len(fams), fams)
+	}
+	// One anchor series per subsystem; a missing one means a whole layer
+	// went dark.
+	for _, series := range []string{
+		`tc_queries_total{op="count"}`,
+		`tc_queries_total{op="transitivity"}`,
+		`tc_queries_total{op="update"}`,
+		`tc_queries_total{op="snapshot"}`,
+		`tc_query_seconds_count{op="count"}`,
+		"tc_sched_admission_wait_seconds_count",
+		"tc_sched_write_epochs_total",
+		"tc_sched_absorbed_batches_total",
+		"tc_sched_queue_depth",
+		"tc_graph_vertices",
+		"tc_graph_triangles",
+		"tc_kernel_steps_total",
+		"tc_kernel_probes_total",
+		"tc_kernel_map_tasks_total",
+		"tc_kernel_step_imbalance_count",
+		`tc_mpi_epochs_total{kind="read"}`,
+		`tc_mpi_epochs_total{kind="write"}`,
+		`tc_mpi_rank_comm_seconds_total{rank="0"}`,
+		`tc_mpi_rank_comp_seconds_total{rank="3"}`,
+		"tc_wal_appends_total",
+		"tc_wal_bytes_total",
+		"tc_wal_fsync_seconds_count",
+		"tc_snapshot_writes_total",
+		"tc_snapshot_seconds_count",
+		"tc_snapshot_last_seq",
+	} {
+		if !p.Has(series) {
+			t.Errorf("series %s missing from exposition", series)
+		}
+	}
+	if got := p.Series[`tc_queries_total{op="count"}`]; got != 2 {
+		t.Errorf("tc_queries_total{op=count} = %v, want 2", got)
+	}
+	if got := p.Series["tc_snapshot_writes_total"]; got < 1 {
+		t.Errorf("tc_snapshot_writes_total = %v, want >= 1", got)
+	}
+	if got := p.Series["tc_graph_vertices"]; got != float64(cl.Info().N) {
+		t.Errorf("tc_graph_vertices = %v, want %d", got, cl.Info().N)
+	}
+}
+
+// TestClusterSharedRegistry: a caller-supplied Options.Metrics registry is
+// the one the cluster publishes into, and Metrics() returns it.
+func TestClusterSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := testClusterGraph(t)
+	cl, err := NewCluster(g, Options{Ranks: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Metrics() != reg {
+		t.Fatal("Metrics() did not return the caller's registry")
+	}
+	if _, err := cl.Count(QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap[`tc_queries_total{op="count"}`] != 1 {
+		t.Fatalf("caller registry did not receive the count: %v", snap)
+	}
+	if snap["tc_kernel_steps_total"] == 0 {
+		t.Fatal("caller registry did not receive kernel steps")
+	}
+}
+
+// TestCountTracedSpanTree: the traced count's span tree must mirror the
+// epoch structure — admission and epoch under the root, one rank span per
+// rank under the epoch, per-step kernel/comm phases under each rank — and
+// every level's children must fit inside their parent's measured wall time
+// (children of one rank run sequentially, so their durations sum to at
+// most the rank span's).
+func TestCountTracedSpanTree(t *testing.T) {
+	g := testClusterGraph(t)
+	cl, err := NewCluster(g, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	want, err := cl.Count(QueryOptions{}) // warm: resident state built
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, tr, err := cl.CountTraced(QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != want.Triangles {
+		t.Fatalf("traced count %d != untraced %d", res.Triangles, want.Triangles)
+	}
+	root := tr.Span()
+	if root == nil || root.Name != "count" {
+		t.Fatalf("root span = %+v, want name count", root)
+	}
+	adm, epoch := root.Find("admission"), root.Find("epoch")
+	if adm == nil || epoch == nil {
+		t.Fatal("trace lacks admission/epoch spans")
+	}
+	if sum := adm.Duration() + epoch.Duration(); sum > root.Duration()+time.Millisecond {
+		t.Errorf("admission+epoch = %v exceeds root wall %v", sum, root.Duration())
+	}
+
+	ranks := epoch.FindAll("rank")
+	if len(ranks) != 4 {
+		t.Fatalf("epoch has %d rank spans, want 4", len(ranks))
+	}
+	phases := []string{"encode", "align", "kernel", "shift", "bcast", "reduce"}
+	for i, rk := range ranks {
+		if rk.Duration() > epoch.Duration()+time.Millisecond {
+			t.Errorf("rank span %d (%v) exceeds epoch wall %v", i, rk.Duration(), epoch.Duration())
+		}
+		if len(rk.FindAll("kernel")) == 0 {
+			t.Errorf("rank span %d has no kernel step spans", i)
+		}
+		var phaseSum time.Duration
+		for _, ph := range phases {
+			for _, sp := range rk.FindAll(ph) {
+				phaseSum += sp.Duration()
+			}
+		}
+		// Phase spans run back to back inside one rank goroutine: their sum
+		// must fit in the rank span's wall time (small slack for the clock
+		// reads between spans), and — the useful direction — they must
+		// account for the bulk of it: large uninstrumented gaps would make
+		// the trace lie about where the time went.
+		if phaseSum > rk.Duration()+time.Millisecond {
+			t.Errorf("rank %d phase sum %v exceeds rank wall %v", i, phaseSum, rk.Duration())
+		}
+		if gap := rk.Duration() - phaseSum; gap > rk.Duration()/2+10*time.Millisecond {
+			t.Errorf("rank %d has %v of untraced time (rank wall %v, phases %v)",
+				i, gap, rk.Duration(), phaseSum)
+		}
+	}
+
+	// The wire form must carry the tree: names, durations, nested children.
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"trace_id"`, `"name":"count"`, `"name":"epoch"`, `"name":"rank"`, `"duration_ms"`} {
+		if !strings.Contains(string(raw), frag) {
+			t.Errorf("trace JSON lacks %s: %s", frag, raw)
+		}
+	}
+}
+
+// TestApplyUpdatesTraced: the write path's trace brackets the shared
+// scheduler work — queue wait, the write epoch itself, and (durable
+// clusters) the WAL append.
+func TestApplyUpdatesTraced(t *testing.T) {
+	g := testClusterGraph(t)
+	cl, err := NewCluster(g, Options{Ranks: 4, PersistDir: t.TempDir(), DisableAutoSnapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	res, tr, err := cl.ApplyUpdatesTraced([]EdgeUpdate{{U: 0, V: 1}, {U: 4, V: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result from traced update")
+	}
+	root := tr.Span()
+	for _, name := range []string{"queue_wait", "write_epoch", "wal_append"} {
+		sp := root.Find(name)
+		if sp == nil {
+			t.Errorf("update trace lacks %s span", name)
+			continue
+		}
+		if sp.Duration() > root.Duration()+time.Millisecond {
+			t.Errorf("%s span %v exceeds trace wall %v", name, sp.Duration(), root.Duration())
+		}
+	}
+}
+
+// TestSnapshotTraced: the snapshot trace covers the encode epoch, the
+// manifest commit, and the WAL rotation.
+func TestSnapshotTraced(t *testing.T) {
+	g := testClusterGraph(t)
+	cl, err := NewCluster(g, Options{Ranks: 4, PersistDir: t.TempDir(), DisableAutoSnapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.ApplyUpdates([]EdgeUpdate{{U: 2, V: 6}}); err != nil {
+		t.Fatal(err)
+	}
+	before := cl.Metrics().Snapshot()["tc_snapshot_writes_total"]
+
+	info, tr, err := cl.SnapshotTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil || info.Seq == 0 && info.Bytes == 0 {
+		t.Fatalf("implausible snapshot info %+v", info)
+	}
+	root := tr.Span()
+	for _, name := range []string{"encode_write", "commit", "rotate"} {
+		if root.Find(name) == nil {
+			t.Errorf("snapshot trace lacks %s span", name)
+		}
+	}
+	snap := cl.Metrics().Snapshot()
+	if got := snap["tc_snapshot_writes_total"] - before; got != 1 {
+		t.Errorf("tc_snapshot_writes_total delta = %v, want 1", got)
+	}
+	if snap["tc_snapshot_last_seq"] != float64(info.Seq) {
+		t.Errorf("tc_snapshot_last_seq = %v, want %d", snap["tc_snapshot_last_seq"], info.Seq)
+	}
+}
+
+// TestRestoredClusterMetrics: a cluster reopened from disk publishes into a
+// fresh registry — including the WAL batches replayed during restore — and
+// keeps counting operations normally.
+func TestRestoredClusterMetrics(t *testing.T) {
+	dir := t.TempDir()
+	g := testClusterGraph(t)
+	opt := Options{Ranks: 4, PersistDir: dir, DisableAutoSnapshot: true}
+	cl, err := NewCluster(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Land batches in the WAL after the snapshot so the restore replays.
+	if _, err := cl.ApplyUpdates([]EdgeUpdate{{U: 1, V: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ApplyUpdates([]EdgeUpdate{{U: 2, V: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cl2, err := OpenCluster(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	snap := cl2.Metrics().Snapshot()
+	if got := snap["tc_wal_replayed_batches_total"]; got != 2 {
+		t.Errorf("tc_wal_replayed_batches_total = %v, want 2", got)
+	}
+	if got := snap["tc_graph_vertices"]; got != float64(cl2.Info().N) {
+		t.Errorf("restored tc_graph_vertices = %v, want %d", got, cl2.Info().N)
+	}
+	if _, err := cl2.Count(QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl2.Metrics().Snapshot()[`tc_queries_total{op="count"}`]; got != 1 {
+		t.Errorf("restored cluster count queries = %v, want 1", got)
+	}
+}

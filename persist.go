@@ -27,10 +27,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"tc2d/internal/core"
 	"tc2d/internal/delta"
 	"tc2d/internal/mpi"
+	"tc2d/internal/obs"
 	"tc2d/internal/snapshot"
 )
 
@@ -176,6 +178,7 @@ func (cl *Cluster) initPersist(opt Options, snapFrac float64) error {
 	if err != nil {
 		return err
 	}
+	wal.SetObserver(cl.metrics.walObserver())
 	cl.persist = &persister{
 		dir:      opt.PersistDir,
 		snapFrac: snapFrac,
@@ -238,6 +241,7 @@ func (cl *Cluster) autoSnapshotDue() bool {
 // interleaving write is a no-op returning the existing snapshot. Close
 // waits for an in-flight Snapshot to finish before tearing the world down.
 func (cl *Cluster) Snapshot() (*SnapshotInfo, error) {
+	start := time.Now()
 	cl.sched.gate.RLock()
 	defer cl.sched.gate.RUnlock()
 	if cl.closed.Load() {
@@ -246,13 +250,43 @@ func (cl *Cluster) Snapshot() (*SnapshotInfo, error) {
 	if cl.persist == nil {
 		return nil, errNotDurable
 	}
-	return cl.snapshotShared()
+	info, err := cl.snapshotShared()
+	cl.metrics.observeOp("snapshot", start, err)
+	return info, err
+}
+
+// SnapshotTraced is Snapshot with a per-request execution trace bracketing
+// admission, the parallel encode-and-write epoch, the manifest commit and
+// the WAL rotation. The trace is returned even when the snapshot fails.
+func (cl *Cluster) SnapshotTraced() (*SnapshotInfo, *obs.Trace, error) {
+	tr := obs.NewTrace("snapshot")
+	defer tr.End()
+	start := time.Now()
+	adm := tr.Span().StartChild("admission")
+	cl.sched.gate.RLock()
+	adm.End()
+	defer cl.sched.gate.RUnlock()
+	if cl.closed.Load() {
+		return nil, tr, ErrClosed
+	}
+	if cl.persist == nil {
+		return nil, tr, errNotDurable
+	}
+	info, err := cl.snapshotSharedTraced(tr.Span())
+	cl.metrics.observeOp("snapshot", start, err)
+	return info, tr, err
 }
 
 // snapshotShared writes one snapshot. The caller holds sched.gate (shared
 // or exclusive) — or, during NewCluster, has not yet published the cluster
 // — so the resident state cannot change underneath the encoding epoch.
 func (cl *Cluster) snapshotShared() (*SnapshotInfo, error) {
+	return cl.snapshotSharedTraced(nil)
+}
+
+// snapshotSharedTraced is snapshotShared with an optional parent span the
+// snapshot phases are recorded under.
+func (cl *Cluster) snapshotSharedTraced(parent *obs.Span) (*SnapshotInfo, error) {
 	p := cl.persist
 	p.snapMu.Lock()
 	defer p.snapMu.Unlock()
@@ -291,10 +325,12 @@ func (cl *Cluster) snapshotShared() (*SnapshotInfo, error) {
 		}
 	}
 
+	start := time.Now()
 	w, err := snapshot.NewWriter(p.dir, seq)
 	if err != nil {
 		return nil, err
 	}
+	encodeSpan := parent.StartChild("encode_write")
 	prep := cl.prep
 	results, err := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
 		var blob []byte
@@ -304,6 +340,7 @@ func (cl *Cluster) snapshotShared() (*SnapshotInfo, error) {
 		}
 		return int64(len(blob)), nil
 	})
+	encodeSpan.End()
 	if err != nil {
 		w.Abort()
 		return nil, err
@@ -314,6 +351,7 @@ func (cl *Cluster) snapshotShared() (*SnapshotInfo, error) {
 	}
 	qr, qc, summa := prep[0].GridShape()
 	tri := cl.lastTri.Load()
+	commitSpan := parent.StartChild("commit")
 	if err := w.Commit(snapshot.Manifest{
 		AppliedSeq:   seq,
 		Ranks:        cl.ranks,
@@ -325,12 +363,17 @@ func (cl *Cluster) snapshotShared() (*SnapshotInfo, error) {
 		BaseM:        cl.baseM,
 		AppliedEdges: cl.appliedEdges,
 	}); err != nil {
+		commitSpan.End()
 		w.Abort()
 		return nil, err
 	}
+	commitSpan.End()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if err := p.wal.Rotate(seq); err != nil {
+	rotateSpan := parent.StartChild("rotate")
+	err = p.wal.Rotate(seq)
+	rotateSpan.End()
+	if err != nil {
 		// The snapshot is published and valid, but the WAL tail cannot
 		// continue safely.
 		p.failed = fmt.Errorf("tc2d: WAL rotation after snapshot failed, cluster is no longer durable: %w", err)
@@ -341,6 +384,12 @@ func (cl *Cluster) snapshotShared() (*SnapshotInfo, error) {
 	p.snapshots++
 	snapshot.Prune(p.dir, snapshotRetention)
 	p.lastInfo = &SnapshotInfo{Seq: seq, Path: snapshot.Dir(p.dir, seq), Bytes: bytes, Triangles: tri}
+	if m := cl.metrics; m != nil && m.reg != nil {
+		m.snapWrites.Inc()
+		m.snapSeconds.Observe(time.Since(start).Seconds())
+		m.snapBytes.Observe(float64(bytes))
+		m.snapLastSeq.Set(float64(seq))
+	}
 	info := *p.lastInfo
 	return &info, nil
 }
@@ -469,6 +518,11 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 	if err != nil {
 		return nil, err
 	}
+	// Restored clusters are observable like fresh ones: resolve the registry
+	// before the world is built so the runtime's series land in it too.
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
+	}
 	world, err := opt.newWorld(m.Ranks)
 	if err != nil {
 		return nil, err
@@ -508,6 +562,7 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 		appliedEdges:    m.AppliedEdges,
 		kernelThreads:   kthreads,
 		noAdaptive:      opt.NoAdaptiveIntersect,
+		metrics:         newClusterMetrics(opt.Metrics),
 	}
 	cl.lastTri.Store(m.Triangles)
 
@@ -550,6 +605,9 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 		world.Close()
 		return nil, err
 	}
+	wal.SetObserver(cl.metrics.walObserver())
+	cl.metrics.walReplayed.Add(float64(replayed))
+	cl.syncGraphMetrics()
 	restoredInfo := infoFromManifest(dir, m)
 	cl.persist = &persister{
 		dir:      dir,

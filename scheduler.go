@@ -5,9 +5,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tc2d/internal/delta"
 	"tc2d/internal/mpi"
+	"tc2d/internal/obs"
 )
 
 // The epoch scheduler: the admission layer between the Cluster's public
@@ -45,9 +47,19 @@ type writeReq struct {
 	res   *UpdateResult
 	err   error
 	done  chan struct{}
+
+	// Observability: enqueued feeds the queue-wait histogram; trace is the
+	// caller's per-request trace (ApplyUpdatesTraced), whose queueSpan stays
+	// open from enqueue until a drain accepts the request.
+	enqueued  time.Time
+	trace     *obs.Trace
+	queueSpan *obs.Span
 }
 
-func (r *writeReq) finish() { close(r.done) }
+func (r *writeReq) finish() {
+	r.queueSpan.End()
+	close(r.done)
+}
 
 // scheduler holds the admission state of one Cluster.
 type scheduler struct {
@@ -84,19 +96,28 @@ func newScheduler() *scheduler {
 // until the carrying write epoch (or a canonicalization failure) resolves
 // it.
 func (cl *Cluster) enqueueWrite(batch []EdgeUpdate) (*UpdateResult, error) {
+	return cl.enqueueWriteTraced(batch, nil)
+}
+
+// enqueueWriteTraced is enqueueWrite carrying an optional per-request trace
+// whose spans the write path fills in (queue wait, shared epoch, WAL).
+func (cl *Cluster) enqueueWriteTraced(batch []EdgeUpdate, tr *obs.Trace) (*UpdateResult, error) {
 	s := cl.sched
-	req := &writeReq{batch: batch, done: make(chan struct{})}
+	start := time.Now()
+	req := &writeReq{batch: batch, done: make(chan struct{}), enqueued: start, trace: tr}
+	req.queueSpan = tr.Span().StartChild("queue_wait")
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	s.depth.Add(1)
+	cl.metrics.queueDepth.Set(float64(s.depth.Add(1)))
 	s.queue = append(s.queue, req)
 	s.cond.Signal()
 	s.mu.Unlock()
 	<-req.done
-	s.depth.Add(-1)
+	cl.metrics.queueDepth.Set(float64(s.depth.Add(-1)))
+	cl.metrics.observeOp("update", start, req.err)
 	return req.res, req.err
 }
 
@@ -181,7 +202,7 @@ func (cl *Cluster) coalesce(pending []*writeReq) (accepted []*writeReq, entries 
 	// Growth projection of the drain so far, mirroring delta.Apply's
 	// admission arithmetic exactly: edge ids raise the cursor first, then
 	// every explicit allocation lands on top.
-	maxEdge := n  // max(n, largest edge endpoint + 1) over accepted entries
+	maxEdge := n         // max(n, largest edge endpoint + 1) over accepted entries
 	addTotal := int64(0) // explicit growth accepted so far
 	for qi := 0; qi < len(pending); qi++ {
 		req := pending[qi]
@@ -232,6 +253,8 @@ func (cl *Cluster) coalesce(pending []*writeReq) (accepted []*writeReq, entries 
 			break
 		}
 		req.canon, req.loops = canon, loops
+		cl.metrics.queueWait.Observe(time.Since(req.enqueued).Seconds())
+		req.queueSpan.End()
 		maxEdge, addTotal = reqMaxEdge, addTotal+reqAdds
 		ai := len(accepted)
 		for _, u := range canon {
@@ -282,11 +305,32 @@ func (cl *Cluster) coalesce(pending []*writeReq) (accepted []*writeReq, entries 
 // exclusively.
 func (cl *Cluster) drainOnce(pending []*writeReq) []*writeReq {
 	accepted, entries, deferred := cl.coalesce(pending)
+	cl.metrics.deferred.Add(float64(len(deferred)))
 	if len(accepted) == 0 {
 		return deferred
 	}
 	cl.applyMerged(accepted, entries)
 	return deferred
+}
+
+// spanAll opens one child span named name on every traced request of the
+// drain and returns a closure ending them all — several callers' traces can
+// bracket the same shared write-path work.
+func spanAll(accepted []*writeReq, name string) func() {
+	var spans []*obs.Span
+	for _, req := range accepted {
+		if req.trace != nil {
+			spans = append(spans, req.trace.Span().StartChild(name))
+		}
+	}
+	if len(spans) == 0 {
+		return func() {}
+	}
+	return func() {
+		for _, s := range spans {
+			s.End()
+		}
+	}
 }
 
 // applyMerged runs the one write epoch of a drain and resolves every
@@ -310,7 +354,10 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 	}
 	// Delta maintenance needs an exact base count.
 	if cl.lastTri.Load() < 0 {
-		if _, err := cl.countEpoch(QueryOptions{}); err != nil {
+		endBase := spanAll(accepted, "base_count")
+		_, err := cl.countEpoch(QueryOptions{}, nil)
+		endBase()
+		if err != nil {
 			failAll(fmt.Errorf("tc2d: base count before update epoch: %w", err))
 			return
 		}
@@ -320,9 +367,12 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 		super[i] = e.upd
 	}
 	prep := cl.prep
+	epochStart := time.Now()
+	endEpoch := spanAll(accepted, "write_epoch")
 	results, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
 		return delta.Apply(c, prep[c.Rank()], super)
 	})
+	endEpoch()
 	if err != nil {
 		failAll(err)
 		return
@@ -331,8 +381,13 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 	cl.sched.writeEpochs.Add(1)
 	cl.sched.absorbed.Add(int64(len(accepted)))
 	cl.updates.Add(int64(len(accepted)))
+	cl.metrics.writeEpochs.Inc()
+	cl.metrics.writeEpochSec.Observe(time.Since(epochStart).Seconds())
+	cl.metrics.absorbed.Add(float64(len(accepted)))
+	cl.metrics.coalesceSize.Observe(float64(len(accepted)))
 	total := cl.lastTri.Add(epochRes.DeltaTriangles)
 	cl.appliedEdges += int64(epochRes.Inserted + epochRes.Deleted)
+	cl.syncGraphMetrics()
 
 	// Durability barrier: the committed super-batch must be in the WAL
 	// before any caller is acknowledged, so an acked update survives a
@@ -340,7 +395,10 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 	// durable state; the callers are failed (their batch DID apply, but its
 	// durability cannot be promised) and the persister retires itself.
 	if cl.persist != nil {
-		if perr := cl.logCommitted(super, int64(epochRes.Inserted+epochRes.Deleted)); perr != nil {
+		endWAL := spanAll(accepted, "wal_append")
+		perr := cl.logCommitted(super, int64(epochRes.Inserted+epochRes.Deleted))
+		endWAL()
+		if perr != nil {
 			for _, req := range accepted {
 				req.err = perr
 				req.finish()
@@ -409,7 +467,10 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 	}
 	var rebuildErr error
 	if cl.autoRebuild && stale {
-		if err := cl.rebuildLocked(); err != nil {
+		endRebuild := spanAll(accepted, "rebuild")
+		err := cl.rebuildLocked()
+		endRebuild()
+		if err != nil {
 			// The super-batch itself committed (counts are exact and
 			// maintained); only the layout refresh failed. Hand each caller
 			// its result alongside the error.

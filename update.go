@@ -7,6 +7,7 @@ import (
 	"tc2d/internal/core"
 	"tc2d/internal/delta"
 	"tc2d/internal/mpi"
+	"tc2d/internal/obs"
 )
 
 // ErrVertexRange marks an update batch naming a vertex id that cannot
@@ -93,6 +94,19 @@ func (cl *Cluster) ApplyUpdates(batch []EdgeUpdate) (*UpdateResult, error) {
 	return cl.enqueueWrite(batch)
 }
 
+// ApplyUpdatesTraced is ApplyUpdates with a per-request execution trace: the
+// span tree brackets the queue wait (the coalescing window), the shared
+// write epoch, the WAL append that makes the batch durable, and — when the
+// drain crossed the staleness threshold — the rebuild. Spans describing
+// shared work (the epoch, the WAL) appear in every traced request the drain
+// coalesced. The trace is returned even when the update fails.
+func (cl *Cluster) ApplyUpdatesTraced(batch []EdgeUpdate) (*UpdateResult, *obs.Trace, error) {
+	tr := obs.NewTrace("update")
+	res, err := cl.enqueueWriteTraced(batch, tr)
+	tr.End()
+	return res, tr, err
+}
+
 // AddVertices grows the vertex space by n fresh ids and returns their
 // contiguous allocation through UpdateResult.VertexBase (the new ids are
 // VertexBase, …, VertexBase+n-1). The ids start above every id referenced
@@ -162,5 +176,7 @@ func (cl *Cluster) rebuildLocked() error {
 	cl.appliedEdges = 0
 	cl.baseM = newPrep[0].M()
 	cl.rebuilds.Add(1)
+	cl.metrics.rebuilds.Inc()
+	cl.syncGraphMetrics()
 	return nil
 }
