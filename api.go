@@ -142,6 +142,20 @@ type Options struct {
 	// splice into the resident blocks indefinitely and only an explicit
 	// Cluster.Rebuild call refreshes the degree ordering.
 	DisableAutoRebuild bool
+	// IncrementalRebuildFraction bounds when a rebuild (staleness-driven or
+	// explicit) may run incrementally instead of through the full pipeline:
+	// if the degree-dirty set — the labels whose degree changed since the
+	// last build — is at most this fraction of the vertex count, only that
+	// set is re-sorted and only its moved rows are redistributed, making the
+	// rebuild cost proportional to churn rather than graph size. Above the
+	// threshold the full pipeline runs (fresh global degree order). Valid
+	// values lie in [0, 1), where 0 selects the default of 0.1; NaN,
+	// negative and >= 1 values are rejected. Set DisableIncrementalRebuild
+	// to always run the full pipeline. Ignored by one-shot counts.
+	IncrementalRebuildFraction float64
+	// DisableIncrementalRebuild forces every rebuild through the full
+	// preprocessing pipeline regardless of how small the churn was.
+	DisableIncrementalRebuild bool
 	// MaxVertices caps the elastic vertex space of a resident cluster:
 	// update batches that would grow the graph beyond this many ids are
 	// rejected with ErrVertexRange instead of allocating ever-larger
@@ -170,6 +184,15 @@ type Options struct {
 	// DisableAutoSnapshot turns the WAL-growth snapshot trigger off: the
 	// WAL grows until an explicit Cluster.Snapshot call rotates it.
 	DisableAutoSnapshot bool
+	// DisableDeltaSnapshot makes every snapshot a full (base) snapshot.
+	// By default a durable cluster writes churn-proportional delta
+	// snapshots — per-rank diffs of the rows, labels and vertex-space
+	// fields touched since the previous snapshot, chained off the last
+	// base — and compacts the chain into a fresh base once it grows past
+	// the chain limit, accumulated churn passes SnapshotFraction of the
+	// base edge count per chain link, or a full rebuild replaces the
+	// resident layout wholesale.
+	DisableDeltaSnapshot bool
 	// NoWALSync disables the per-commit fsync of the write-ahead log:
 	// acknowledged updates then survive a process crash (the OS page cache
 	// holds the appended records) but not a power failure. Throughput for
@@ -264,6 +287,22 @@ func (o Options) rebuildFraction() (float64, error) {
 	}
 	if f == 0 {
 		return 0.25, nil
+	}
+	return f, nil
+}
+
+// incrementalRebuildFraction validates and resolves the incremental-rebuild
+// eligibility threshold.
+func (o Options) incrementalRebuildFraction() (float64, error) {
+	f := o.IncrementalRebuildFraction
+	if math.IsNaN(f) {
+		return 0, fmt.Errorf("tc2d: IncrementalRebuildFraction is NaN")
+	}
+	if f < 0 || f >= 1 {
+		return 0, fmt.Errorf("tc2d: IncrementalRebuildFraction=%v out of range [0, 1) — use DisableIncrementalRebuild to always run the full pipeline", f)
+	}
+	if f == 0 {
+		return 0.1, nil
 	}
 	return f, nil
 }

@@ -86,10 +86,14 @@ type ClusterInfo struct {
 	Transport Transport
 	// Queries is the number of completed Count queries; Updates the number
 	// of applied update batches; Rebuilds how often staleness (or an
-	// explicit Rebuild call) re-ran the preprocessing pipeline.
-	Queries  int64
-	Updates  int64
-	Rebuilds int64
+	// explicit Rebuild call) refreshed the resident layout.
+	// IncrementalRebuilds is the subset of Rebuilds that ran the
+	// churn-proportional incremental pass (only the degree-dirty labels
+	// re-sorted, only their rows moved) instead of the full pipeline.
+	Queries             int64
+	Updates             int64
+	Rebuilds            int64
+	IncrementalRebuilds int64
 	// Scheduler accounting. ReadEpochs counts the counting epochs run to
 	// serve queries (internal epochs, like the write path's base count,
 	// are excluded): concurrent identical queries share one epoch's
@@ -149,12 +153,13 @@ type Cluster struct {
 	sched *scheduler
 	prep  []*core.Prepared // per-rank resident state, indexed by rank
 
-	queries    atomic.Int64
-	readEpochs atomic.Int64
-	updates    atomic.Int64
-	rebuilds   atomic.Int64
-	mapTasks   atomic.Int64 // intersection pairs of completed count epochs
-	mergeTasks atomic.Int64 // the subset that took the merge path
+	queries     atomic.Int64
+	readEpochs  atomic.Int64
+	updates     atomic.Int64
+	rebuilds    atomic.Int64
+	incRebuilds atomic.Int64 // the subset of rebuilds that ran incrementally
+	mapTasks    atomic.Int64 // intersection pairs of completed count epochs
+	mergeTasks  atomic.Int64 // the subset that took the merge path
 
 	// Standing kernel defaults from Options, immutable after construction:
 	// queries resolve KernelThreads=0 against kernelThreads, and the write
@@ -167,13 +172,19 @@ type Cluster struct {
 	closeErr      error
 
 	// Write-path staleness state, touched only with sched.gate held
-	// exclusively. rebuildFraction, autoRebuild and maxVertices are
-	// immutable.
-	rebuildFraction float64
-	autoRebuild     bool
-	maxVertices     int64 // growth cap (0 = unbounded)
-	baseM           int64 // edge count at the last build, staleness denominator
-	appliedEdges    int64 // effective updates applied since the last build
+	// exclusively. rebuildFraction, incrementalFraction, autoRebuild and
+	// maxVertices are immutable. incrementalFraction is the degree-dirty
+	// eligibility threshold for incremental rebuilds (0 = always run the
+	// full pipeline); fullPreOps the operation count of the last full
+	// pipeline run, the baseline incremental rebuilds report savings
+	// against (0 on a restored cluster until its first full rebuild).
+	rebuildFraction     float64
+	incrementalFraction float64
+	autoRebuild         bool
+	maxVertices         int64 // growth cap (0 = unbounded)
+	baseM               int64 // edge count at the last build, staleness denominator
+	appliedEdges        int64 // effective updates applied since the last build
+	fullPreOps          int64
 
 	// persist is the durability state (snapshot directory + WAL); nil when
 	// Options.PersistDir was unset. See persist.go.
@@ -214,6 +225,13 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 	snapFrac, err := opt.snapshotFraction()
 	if err != nil {
 		return nil, err
+	}
+	incFrac, err := opt.incrementalRebuildFraction()
+	if err != nil {
+		return nil, err
+	}
+	if opt.DisableIncrementalRebuild {
+		incFrac = 0
 	}
 	if opt.MaxVertices < 0 {
 		return nil, fmt.Errorf("tc2d: MaxVertices=%d must be non-negative", opt.MaxVertices)
@@ -259,19 +277,21 @@ func newCluster(in dgraph.Input, opt Options) (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{
-		world:           world,
-		prep:            prep,
-		enum:            opt.Enumeration,
-		ranks:           p,
-		transport:       opt.Transport,
-		sched:           newScheduler(),
-		rebuildFraction: frac,
-		autoRebuild:     !opt.DisableAutoRebuild,
-		maxVertices:     opt.MaxVertices,
-		baseM:           prep[0].M(),
-		kernelThreads:   kthreads,
-		noAdaptive:      opt.NoAdaptiveIntersect,
-		metrics:         newClusterMetrics(opt.Metrics),
+		world:               world,
+		prep:                prep,
+		enum:                opt.Enumeration,
+		ranks:               p,
+		transport:           opt.Transport,
+		sched:               newScheduler(),
+		rebuildFraction:     frac,
+		incrementalFraction: incFrac,
+		autoRebuild:         !opt.DisableAutoRebuild,
+		maxVertices:         opt.MaxVertices,
+		baseM:               prep[0].M(),
+		fullPreOps:          prep[0].PreOps(),
+		kernelThreads:       kthreads,
+		noAdaptive:          opt.NoAdaptiveIntersect,
+		metrics:             newClusterMetrics(opt.Metrics),
 	}
 	cl.lastTri.Store(-1)
 	cl.syncGraphMetrics()
@@ -443,29 +463,30 @@ func (cl *Cluster) Info() ClusterInfo {
 	p0 := cl.prep[0]
 	sp := p0.Space()
 	return ClusterInfo{
-		N:                p0.N(),
-		M:                p0.M(),
-		BaseN:            sp.BaseN,
-		OverflowN:        sp.OverflowN(),
-		OverflowFraction: sp.OverflowFraction(),
-		SpaceVersion:     sp.Version,
-		Wedges:           p0.Wedges(),
-		Ranks:            cl.ranks,
-		Transport:        cl.transport,
-		Queries:          cl.queries.Load(),
-		Updates:          cl.updates.Load(),
-		Rebuilds:         cl.rebuilds.Load(),
-		ReadEpochs:       cl.readEpochs.Load(),
-		WriteEpochs:      cl.sched.writeEpochs.Load(),
-		CoalescedBatches: cl.sched.absorbed.Load(),
-		QueueDepth:       cl.sched.depth.Load(),
-		KernelThreads:    cl.prep[0].KernelWorkers(),
-		MapTasks:         cl.mapTasks.Load(),
-		MergeTasks:       cl.mergeTasks.Load(),
-		PreOps:           p0.PreOps(),
-		PreprocessTime:   p0.PreprocessTime(),
-		CommFracPre:      p0.CommFracPre(),
-		Persist:          cl.persistInfo(),
+		N:                   p0.N(),
+		M:                   p0.M(),
+		BaseN:               sp.BaseN,
+		OverflowN:           sp.OverflowN(),
+		OverflowFraction:    sp.OverflowFraction(),
+		SpaceVersion:        sp.Version,
+		Wedges:              p0.Wedges(),
+		Ranks:               cl.ranks,
+		Transport:           cl.transport,
+		Queries:             cl.queries.Load(),
+		Updates:             cl.updates.Load(),
+		Rebuilds:            cl.rebuilds.Load(),
+		IncrementalRebuilds: cl.incRebuilds.Load(),
+		ReadEpochs:          cl.readEpochs.Load(),
+		WriteEpochs:         cl.sched.writeEpochs.Load(),
+		CoalescedBatches:    cl.sched.absorbed.Load(),
+		QueueDepth:          cl.sched.depth.Load(),
+		KernelThreads:       cl.prep[0].KernelWorkers(),
+		MapTasks:            cl.mapTasks.Load(),
+		MergeTasks:          cl.mergeTasks.Load(),
+		PreOps:              p0.PreOps(),
+		PreprocessTime:      p0.PreprocessTime(),
+		CommFracPre:         p0.CommFracPre(),
+		Persist:             cl.persistInfo(),
 	}
 }
 

@@ -7,7 +7,7 @@
 //	tcbench -exp table5 -ranks 16,25,36
 //
 // Experiments: table1 table2 fig1 fig2 fig3 table3 table4 table5 table6
-// ablation probes updates concurrent growth kernel. -delta shifts every dataset scale
+// ablation probes updates concurrent growth kernel maintenance. -delta shifts every dataset scale
 // (negative = smaller/faster). "updates" is the mixed read/write scenario:
 // a resident cluster absorbs batches of edge updates (delta counting, no
 // rebuild) interleaved with full count queries, reporting update
@@ -23,13 +23,18 @@
 // resident state, counting epochs swept over kernel worker counts
 // (1 → NumCPU) × intersection modes (adaptive merge/hash selection vs
 // hash-only), reporting wall-time speedup per worker count and the
-// probe/task counters that prove exactness. All four always run when
-// -json is given; their rows land in the update_runs, concurrent_runs,
-// growth_runs and kernel_runs sections (schema v6). Every measured
-// scenario also self-observes the benchmark process — peak heap,
-// allocation volume, GC cycles/pauses, and (for the concurrent scenario's
-// resident clusters) the metric-registry delta — into the JSON document's
-// runtime section.
+// probe/task counters that prove exactness. "maintenance" is the
+// churn-proportional maintenance scenario: durable clusters absorb churn
+// batches (a fraction of the edge count, half deletes/half inserts) under
+// {incremental, full} rebuild × {delta, base} snapshot, reporting how many
+// preprocessing ops the incremental rebuild and how many bytes the delta
+// snapshot save over the boot-time full build and base snapshot. All five
+// always run when -json is given; their rows land in the update_runs,
+// concurrent_runs, growth_runs, kernel_runs and maintenance_runs sections
+// (schema v7). Every measured scenario also self-observes the benchmark
+// process — peak heap, allocation volume, GC cycles/pauses, and (for the
+// concurrent and maintenance scenarios' resident clusters) the
+// metric-registry delta — into the JSON document's runtime section.
 // Modeled parallel times come from the runtime's LogGP-style virtual clocks;
 // see DESIGN.md for the calibration discussion.
 package main
@@ -74,6 +79,9 @@ func main() {
 
 		kRanks   = flag.Int("kernel-ranks", 4, "rank count for the kernel scenario")
 		kThreads = flag.String("kernel-threads", "", "comma-separated kernel worker schedule (default: powers of two up to NumCPU)")
+
+		mRanks = flag.Int("maint-ranks", 4, "rank count for the maintenance scenario")
+		mChurn = flag.String("maint-churn", "0.01,0.05,0.2", "comma-separated churn fractions for the maintenance scenario")
 	)
 	flag.Parse()
 
@@ -206,13 +214,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The maintenance scenario feeds the "maintenance" table and the -json
+	// record: durable clusters absorbing churn batches, measuring how much
+	// preprocessing work the incremental rebuild and how many bytes the
+	// delta snapshot save over their full-cost counterparts at each churn
+	// level. Its clusters publish into one shared registry, so the runtime
+	// record carries the rebuild/snapshot metric deltas.
+	var maintRows []harness.MaintenanceRow
+	if sel("maintenance") || *jsonTo != "" {
+		churns := parseFloats(*mChurn)
+		if *detail {
+			fmt.Fprintf(os.Stderr, "tcbench: running maintenance scenario (ranks %d, churn %v)...\n", *mRanks, churns)
+		}
+		reg := obs.NewRegistry()
+		so := harness.StartRuntimeObs(reg)
+		var err error
+		maintRows, err = harness.RunMaintenance(specs[0], *mRanks, churns, reg)
+		runtimeStats = append(runtimeStats, so.Stop("maintenance"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: maintenance scenario: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonTo != "" {
 		f, err := os.Create(*jsonTo)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, growthRows, kernelRows, runtimeStats, cfg); err != nil {
+		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, growthRows, kernelRows, maintRows, runtimeStats, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: write json: %v\n", err)
 			os.Exit(1)
 		}
@@ -221,14 +251,15 @@ func main() {
 			os.Exit(1)
 		}
 		if *detail {
-			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update + %d concurrent + %d growth + %d kernel runs to %s\n",
-				len(rows), len(updRows), len(concRows), len(growthRows), len(kernelRows), *jsonTo)
+			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update + %d concurrent + %d growth + %d kernel + %d maintenance runs to %s\n",
+				len(rows), len(updRows), len(concRows), len(growthRows), len(kernelRows), len(maintRows), *jsonTo)
 		}
 	}
 	step("updates", func() error { return harness.TableUpdates(w, updRows) })
 	step("kernel", func() error { return harness.TableKernel(w, kernelRows) })
 	step("concurrent", func() error { return harness.TableConcurrent(w, concRows) })
 	step("growth", func() error { return harness.TableGrowth(w, growthRows) })
+	step("maintenance", func() error { return harness.TableMaintenance(w, maintRows) })
 	step("table2", func() error { return harness.Table2(w, rows) })
 	step("fig1", func() error { return harness.Figure1(w, rows) })
 	step("fig2", func() error { return harness.Figure2(w, rows, specs[1].Name) })
@@ -262,6 +293,19 @@ func main() {
 		return harness.Probes71(w, []harness.Spec{specs[2], specs[3]}, pr[len(pr)-1], cfg)
 	})
 	step("ablation", func() error { return harness.Ablation(w, specs[0], parseInts(*abl), cfg) })
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: bad number %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func parseInts(s string) []int {

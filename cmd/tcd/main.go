@@ -63,8 +63,11 @@
 //	                     write epoch, WAL append, rebuild)
 //	POST /snapshot     — persist the current state now (requires
 //	                     -persist-dir; also happens automatically as the
-//	                     WAL grows); returns the snapshot seq/path/bytes;
-//	                     trace=1 returns the encode/commit/rotate spans
+//	                     WAL grows); returns the snapshot seq/path/bytes
+//	                     plus its kind ("base" or a churn-proportional
+//	                     "delta" chained off the last base) and chain
+//	                     length; trace=1 returns the encode/commit/rotate
+//	                     spans
 //	GET  /stats        — graph, cluster, service and durability statistics
 //	GET  /metrics      — the cluster's observability registry in Prometheus
 //	                     text exposition format v0.0.4
@@ -573,6 +576,8 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		"path":      info.Path,
 		"bytes":     info.Bytes,
 		"triangles": info.Triangles,
+		"kind":      info.Kind,
+		"chain_len": info.ChainLen,
 		"wall_ms":   durMillis(time.Since(t0)),
 	}
 	if tr != nil {
@@ -614,14 +619,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"wedges":            info.Wedges,
 		},
 		"cluster": map[string]any{
-			"ranks":             info.Ranks,
-			"transport":         info.Transport.String(),
-			"queries":           info.Queries,
-			"updates":           info.Updates,
-			"rebuilds":          info.Rebuilds,
-			"pre_ops":           info.PreOps,
-			"preprocess_time_s": info.PreprocessTime,
-			"comm_frac_pre":     info.CommFracPre,
+			"ranks":                info.Ranks,
+			"transport":            info.Transport.String(),
+			"queries":              info.Queries,
+			"updates":              info.Updates,
+			"rebuilds":             info.Rebuilds,
+			"incremental_rebuilds": info.IncrementalRebuilds,
+			"pre_ops":              info.PreOps,
+			"preprocess_time_s":    info.PreprocessTime,
+			"comm_frac_pre":        info.CommFracPre,
 		},
 		"scheduler": map[string]any{
 			"read_inflight":          s.readInflight.Load(),
@@ -650,6 +656,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"replayed_batches":  info.Persist.ReplayedBatches,
 			"snapshots":         info.Persist.Snapshots,
 			"last_snapshot_seq": info.Persist.LastSnapshotSeq,
+			"delta_snapshots":   info.Persist.DeltaSnapshots,
+			"base_snapshot_seq": info.Persist.BaseSnapshotSeq,
+			"chain_len":         info.Persist.ChainLen,
+			"churn_since_base":  info.Persist.ChurnSinceBase,
 		},
 		"service": map[string]any{
 			"requests": s.requests.Load(),

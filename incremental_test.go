@@ -1,0 +1,558 @@
+package tc2d
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tc2d/internal/snapshot"
+)
+
+// Incremental-maintenance tests: the churn-proportional rebuild must agree
+// exactly — counts, totals, layout invariants — with the full preprocessing
+// pipeline and the sequential oracle under randomized mixed update streams;
+// delta-compressed snapshot chains must survive kills at arbitrary points
+// and fall back past corrupt chain members; and the headline cost claims
+// (≥5× fewer preprocessing ops at ~1% churn, ≥10× fewer snapshot bytes)
+// are asserted, not just reported.
+
+// runIncrementalDifferential streams the same randomized batches into two
+// clusters — one rebuilding incrementally (fraction 0.99, so every forced
+// rebuild takes the churn-proportional path), one with incremental rebuild
+// disabled — forcing rebuilds at varying churn levels and requiring exact
+// agreement between both clusters and the sequential oracle after every
+// batch and every rebuild.
+func runIncrementalDifferential(t *testing.T, opt Options, scale, batches int, seed int64) {
+	t.Helper()
+	g, err := GenerateRMAT(G500, scale, 8, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.DisableAutoRebuild = true // rebuilds are forced explicitly below
+	incOpt := opt
+	incOpt.IncrementalRebuildFraction = 0.99
+	fullOpt := opt
+	fullOpt.DisableIncrementalRebuild = true
+	inc, err := NewCluster(g, incOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	full, err := NewCluster(g, fullOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	o := newGrowOracle(g)
+	// Rebuild after bursts of different lengths, so the degree-dirty set —
+	// the incremental path's input — spans small to sizeable churn.
+	intervals := []int{2, 5, 9}
+	next, slot := intervals[0], 0
+	var forced int64
+	for b := 0; b < batches; b++ {
+		batch := growthBatch(rng, o)
+		resI, err := inc.ApplyUpdates(batch)
+		if err != nil {
+			t.Fatalf("batch %d (incremental): %v", b, err)
+		}
+		resF, err := full.ApplyUpdates(batch)
+		if err != nil {
+			t.Fatalf("batch %d (full): %v", b, err)
+		}
+		o.apply(batch)
+		checkGrowthState(t, "incremental batch", inc, o, resI)
+		checkGrowthState(t, "full batch", full, o, resF)
+
+		if b == next {
+			if err := inc.Rebuild(); err != nil {
+				t.Fatalf("batch %d: incremental rebuild: %v", b, err)
+			}
+			if err := full.Rebuild(); err != nil {
+				t.Fatalf("batch %d: full rebuild: %v", b, err)
+			}
+			forced++
+			// Both rebuild modes must restore the clean cyclic layout…
+			for tag, cl := range map[string]*Cluster{"incremental": inc, "full": full} {
+				info := cl.Info()
+				if info.BaseN != info.N || info.OverflowN != 0 {
+					t.Fatalf("batch %d: %s rebuild left BaseN=%d N=%d OverflowN=%d",
+						b, tag, info.BaseN, info.N, info.OverflowN)
+				}
+			}
+			// …and a query over the rebuilt blocks must agree with the oracle.
+			want := CountSequential(o.graph(t))
+			qi, err := inc.Count(QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qf, err := full.Count(QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if qi.Triangles != want || qf.Triangles != want {
+				t.Fatalf("batch %d: post-rebuild counts incremental=%d full=%d, oracle %d",
+					b, qi.Triangles, qf.Triangles, want)
+			}
+			slot = (slot + 1) % len(intervals)
+			next += intervals[slot]
+		}
+	}
+
+	// The incremental cluster must actually have taken the incremental path
+	// on every forced rebuild, the control cluster never.
+	if got := inc.Info().IncrementalRebuilds; got != forced {
+		t.Errorf("incremental cluster ran %d incremental rebuilds, want %d", got, forced)
+	}
+	if got := full.Info().IncrementalRebuilds; got != 0 {
+		t.Errorf("disabled cluster ran %d incremental rebuilds", got)
+	}
+
+	gm := o.graph(t)
+	wantTr := Transitivity(gm)
+	for tag, cl := range map[string]*Cluster{"incremental": inc, "full": full} {
+		tr, err := cl.Transitivity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tr-wantTr) > 1e-12 {
+			t.Errorf("%s transitivity %v, oracle %v", tag, tr, wantTr)
+		}
+	}
+}
+
+func TestIncrementalRebuildDifferentialCannon(t *testing.T) {
+	runIncrementalDifferential(t, Options{Ranks: 4}, 9, 32, 41)
+}
+
+func TestIncrementalRebuildDifferentialSUMMA(t *testing.T) {
+	runIncrementalDifferential(t, Options{Ranks: 6}, 9, 32, 42)
+}
+
+func TestIncrementalRebuildDifferentialCannonTCP(t *testing.T) {
+	runIncrementalDifferential(t, Options{Ranks: 4, Transport: TransportTCP}, 8, 30, 43)
+}
+
+func TestIncrementalRebuildDifferentialSUMMATCP(t *testing.T) {
+	runIncrementalDifferential(t, Options{Ranks: 6, Transport: TransportTCP}, 8, 30, 44)
+}
+
+func TestIncrementalRebuildDifferentialSingleRank(t *testing.T) {
+	runIncrementalDifferential(t, Options{Ranks: 1}, 8, 30, 45)
+}
+
+// churnBatch builds ~frac·M edge mutations (half deletions of existing
+// edges, half insertions of absent ones) over the current vertex space —
+// pure edge churn, no growth, so the dirty set stays proportional to it.
+func churnBatch(rng *rand.Rand, o *growOracle, frac float64) []EdgeUpdate {
+	target := int(frac * float64(len(o.edges)))
+	if target < 2 {
+		target = 2
+	}
+	existing := make([][2]int32, 0, len(o.edges))
+	for e := range o.edges {
+		existing = append(existing, e)
+	}
+	rng.Shuffle(len(existing), func(i, j int) { existing[i], existing[j] = existing[j], existing[i] })
+	var batch []EdgeUpdate
+	touched := map[[2]int32]bool{}
+	for _, e := range existing[:target/2] {
+		touched[e] = true
+		batch = append(batch, EdgeUpdate{U: e[0], V: e[1], Op: UpdateDelete})
+	}
+	for len(batch) < target {
+		u, v := int32(rng.Intn(int(o.n))), int32(rng.Intn(int(o.n)))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]int32{u, v}
+		if o.edges[k] || touched[k] {
+			continue
+		}
+		touched[k] = true
+		batch = append(batch, EdgeUpdate{U: u, V: v, Op: UpdateInsert})
+	}
+	return batch
+}
+
+// TestIncrementalRebuildOpsSavings is the headline cost acceptance: at ~1%
+// edge churn an incremental rebuild must perform at least 5× fewer
+// preprocessing operations than the full pipeline did at build time, with
+// the savings visible through the mode-labeled metrics.
+func TestIncrementalRebuildOpsSavings(t *testing.T) {
+	g, err := GenerateRMAT(G500, 12, 8, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(g, Options{
+		Ranks:                      4,
+		DisableAutoRebuild:         true,
+		IncrementalRebuildFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	buildOps := cl.Info().PreOps
+	if buildOps <= 0 {
+		t.Fatalf("build reported PreOps=%d", buildOps)
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	o := newGrowOracle(g)
+	batch := churnBatch(rng, o, 0.01)
+	res, err := cl.ApplyUpdates(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.apply(batch)
+	checkGrowthState(t, "churn", cl, o, res)
+
+	if err := cl.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	info := cl.Info()
+	if info.IncrementalRebuilds != 1 {
+		t.Fatalf("IncrementalRebuilds=%d after one small-churn rebuild", info.IncrementalRebuilds)
+	}
+	incOps := info.PreOps
+	if incOps <= 0 {
+		t.Fatalf("incremental rebuild reported PreOps=%d", incOps)
+	}
+	if buildOps < 5*incOps {
+		t.Fatalf("incremental rebuild at ~1%% churn: %d ops vs %d at build — less than the required 5× saving",
+			incOps, buildOps)
+	}
+	t.Logf("preprocessing ops: full build %d, incremental rebuild %d (%.1fx fewer, %d edge churn)",
+		buildOps, incOps, float64(buildOps)/float64(incOps), len(batch))
+
+	snap := cl.Metrics().Snapshot()
+	if got := snap[`tc_rebuilds_total{mode="incremental"}`]; got != 1 {
+		t.Errorf(`tc_rebuilds_total{mode="incremental"}=%v, want 1`, got)
+	}
+	if got := snap["tc_rebuild_saved_ops_total"]; got != float64(buildOps-incOps) {
+		t.Errorf("tc_rebuild_saved_ops_total=%v, want %d", got, buildOps-incOps)
+	}
+
+	// The rebuilt layout still answers exactly.
+	want := CountSequential(o.graph(t))
+	qres, err := cl.Count(QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres.Triangles != want {
+		t.Fatalf("post-rebuild count %d, oracle %d", qres.Triangles, want)
+	}
+}
+
+// baseSnapshotBytes sums the per-rank blobs of the boot (base) snapshot.
+func baseSnapshotBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	blobs, err := filepath.Glob(filepath.Join(dir, "snap-*", "rank-*.bin"))
+	if err != nil || len(blobs) == 0 {
+		t.Fatalf("base snapshot blobs %v err %v", blobs, err)
+	}
+	var total int64
+	for _, b := range blobs {
+		st, err := os.Stat(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	return total
+}
+
+// TestDeltaSnapshotBytes is the snapshot-side cost acceptance: after a small
+// update, the next snapshot must be a delta chained off the boot base, at
+// least 10× smaller than the base, and visible in the delta metrics and the
+// durability info.
+func TestDeltaSnapshotBytes(t *testing.T) {
+	dir := t.TempDir()
+	g, err := GenerateRMAT(G500, 12, 8, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(g, Options{Ranks: 4, PersistDir: dir, DisableAutoSnapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	baseBytes := baseSnapshotBytes(t, dir)
+
+	rng := rand.New(rand.NewSource(78))
+	o := newGrowOracle(g)
+	batch := churnBatch(rng, o, 0.01)
+	if _, err := cl.ApplyUpdates(batch); err != nil {
+		t.Fatal(err)
+	}
+	o.apply(batch)
+
+	info, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != snapshot.KindDelta || info.ChainLen != 1 {
+		t.Fatalf("snapshot after small churn: kind=%q chainLen=%d, want a first delta", info.Kind, info.ChainLen)
+	}
+	if info.Bytes <= 0 || info.Bytes*10 > baseBytes {
+		t.Fatalf("delta snapshot %d bytes vs base %d — less than the required 10× saving", info.Bytes, baseBytes)
+	}
+	t.Logf("snapshot bytes: base %d, delta %d (%.1fx smaller, %d edge churn)",
+		baseBytes, info.Bytes, float64(baseBytes)/float64(info.Bytes), len(batch))
+
+	snap := cl.Metrics().Snapshot()
+	if got := snap["tc_snapshot_delta_writes_total"]; got != 1 {
+		t.Errorf("tc_snapshot_delta_writes_total=%v, want 1", got)
+	}
+	pi := cl.Info().Persist
+	if pi.DeltaSnapshots != 1 || pi.ChainLen != 1 {
+		t.Errorf("persist info deltas=%d chainLen=%d, want 1/1", pi.DeltaSnapshots, pi.ChainLen)
+	}
+
+	// The delta-restored state must answer exactly.
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cl2, err := OpenCluster(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	checkRestored(t, "delta restore", cl2, o)
+}
+
+// TestSnapshotChainCompaction drives the chain policy end to end: deltas
+// accumulate up to the chain limit, the next snapshot compacts to a fresh
+// base, and a full rebuild forces the next snapshot to be a base regardless
+// of chain length (a delta cannot express the block swap).
+func TestSnapshotChainCompaction(t *testing.T) {
+	dir := t.TempDir()
+	g, err := GenerateRMAT(G500, 8, 8, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		Ranks:                     4,
+		PersistDir:                dir,
+		DisableAutoSnapshot:       true,
+		DisableAutoRebuild:        true,
+		DisableIncrementalRebuild: true, // Rebuild() below must run the full pipeline
+		SnapshotFraction:          0.9,  // churn never forces compaction in this test
+	}
+	cl, err := NewCluster(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(79))
+	o := newGrowOracle(g)
+	step := func() *SnapshotInfo {
+		t.Helper()
+		batch := growthBatch(rng, o)
+		if _, err := cl.ApplyUpdates(batch); err != nil {
+			t.Fatal(err)
+		}
+		o.apply(batch)
+		info, err := cl.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info
+	}
+
+	// Four deltas fill the chain; the fifth snapshot compacts to a base.
+	for i := 1; i <= 4; i++ {
+		if info := step(); info.Kind != snapshot.KindDelta || info.ChainLen != i {
+			t.Fatalf("snapshot %d: kind=%q chainLen=%d, want delta %d", i, info.Kind, info.ChainLen, i)
+		}
+	}
+	if info := step(); info.Kind != snapshot.KindBase || info.ChainLen != 0 {
+		t.Fatalf("snapshot at chain limit: kind=%q chainLen=%d, want a compacted base", info.Kind, info.ChainLen)
+	}
+	// A new chain grows off the fresh base.
+	if info := step(); info.Kind != snapshot.KindDelta || info.ChainLen != 1 {
+		t.Fatalf("snapshot after compaction: kind=%q chainLen=%d, want delta 1", info.Kind, info.ChainLen)
+	}
+
+	// A full rebuild swaps the resident blocks: the next snapshot must be a
+	// base even though the chain has room.
+	if err := cl.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if info := step(); info.Kind != snapshot.KindBase || info.ChainLen != 0 {
+		t.Fatalf("snapshot after full rebuild: kind=%q chainLen=%d, want a forced base", info.Kind, info.ChainLen)
+	}
+	checkRestored(t, "after compaction rounds", cl, o)
+}
+
+// runChainKillRecovery is the chain durability differential: a stream with
+// explicit snapshots (building delta chains) and forced rebuilds, killed at
+// a random point — possibly right after a base, mid-chain, or just after a
+// compaction — must reopen to the exact oracle state, keep accepting the
+// stream, and survive a second restart.
+func runChainKillRecovery(t *testing.T, opt Options, scale, batches int, seed int64) {
+	t.Helper()
+	dir := t.TempDir()
+	opt.PersistDir = dir
+	opt.DisableAutoSnapshot = true
+	g, err := GenerateRMAT(G500, scale, 8, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	o := newGrowOracle(g)
+	killAt := 1 + rng.Intn(batches)
+	for b := 0; b < killAt; b++ {
+		batch := growthBatch(rng, o)
+		res, err := cl.ApplyUpdates(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		o.apply(batch)
+		checkGrowthState(t, "pre-kill batch", cl, o, res)
+		if b%2 == 1 {
+			if _, err := cl.Snapshot(); err != nil {
+				t.Fatalf("batch %d: snapshot: %v", b, err)
+			}
+		}
+		if b%7 == 5 {
+			if err := cl.Rebuild(); err != nil {
+				t.Fatalf("batch %d: rebuild: %v", b, err)
+			}
+		}
+	}
+	cl.killForTest()
+
+	cl2, err := OpenCluster(dir, opt)
+	if err != nil {
+		t.Fatalf("OpenCluster after kill at batch %d: %v", killAt, err)
+	}
+	checkRestored(t, "chain restore", cl2, o)
+
+	// The stream continues — snapshots keep chaining off the restored base —
+	// and a clean restart lands on the exact state again.
+	for b := 0; b < 5; b++ {
+		batch := growthBatch(rng, o)
+		res, err := cl2.ApplyUpdates(batch)
+		if err != nil {
+			t.Fatalf("post-restore batch %d: %v", b, err)
+		}
+		o.apply(batch)
+		checkGrowthState(t, "post-restore batch", cl2, o, res)
+		if b%2 == 0 {
+			if _, err := cl2.Snapshot(); err != nil {
+				t.Fatalf("post-restore snapshot %d: %v", b, err)
+			}
+		}
+	}
+	if err := cl2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cl3, err := OpenCluster(dir, opt)
+	if err != nil {
+		t.Fatalf("second OpenCluster: %v", err)
+	}
+	defer cl3.Close()
+	checkRestored(t, "second restart", cl3, o)
+}
+
+func TestChainKillRecoveryCannon(t *testing.T) {
+	runChainKillRecovery(t, Options{Ranks: 4, IncrementalRebuildFraction: 0.9}, 8, 14, 201)
+}
+
+func TestChainKillRecoverySUMMA(t *testing.T) {
+	runChainKillRecovery(t, Options{Ranks: 6, IncrementalRebuildFraction: 0.3}, 8, 14, 202)
+}
+
+func TestChainKillRecoverySingleRank(t *testing.T) {
+	runChainKillRecovery(t, Options{Ranks: 1, IncrementalRebuildFraction: 0.9}, 7, 12, 203)
+}
+
+// TestOpenClusterCorruptDeltaFallsBack: a damaged delta blob must fail the
+// chain's CRC, evict the unusable snapshot, and fall back to its base —
+// whose longer WAL tail replays to the exact same state.
+func TestOpenClusterCorruptDeltaFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	g, err := GenerateRMAT(G500, 7, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Ranks: 4, PersistDir: dir, DisableAutoSnapshot: true}
+	cl, err := NewCluster(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newGrowOracle(g)
+	rng := rand.New(rand.NewSource(56))
+	apply := func(n int) {
+		for i := 0; i < n; i++ {
+			batch := growthBatch(rng, o)
+			if _, err := cl.ApplyUpdates(batch); err != nil {
+				t.Fatal(err)
+			}
+			o.apply(batch)
+		}
+	}
+	apply(4)
+	dinfo, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dinfo.Kind != snapshot.KindDelta {
+		t.Fatalf("snapshot kind %q, want a delta chained off the boot base", dinfo.Kind)
+	}
+	apply(3)
+	cl.killForTest()
+
+	// Corrupt one rank blob of the delta snapshot.
+	path := filepath.Join(dinfo.Path, "rank-0002.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xA5
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cl2, err := OpenCluster(dir, opt)
+	if err != nil {
+		t.Fatalf("OpenCluster with corrupt delta: %v", err)
+	}
+	defer cl2.Close()
+	if rep := cl2.Info().Persist.ReplayedBatches; rep != 7 {
+		t.Fatalf("fallback replayed %d batches, want all 7 from the base", rep)
+	}
+	checkRestored(t, "delta fallback", cl2, o)
+	if _, err := os.Stat(dinfo.Path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt delta snapshot %s survived the fallback (stat err=%v)", dinfo.Path, err)
+	}
+}
+
+// TestIncrementalRebuildFractionValidation mirrors the RebuildFraction and
+// SnapshotFraction contracts: out-of-range (or NaN) fractions are refused
+// up front.
+func TestIncrementalRebuildFractionValidation(t *testing.T) {
+	g, err := GenerateRMAT(G500, 7, 8, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{-0.1, 1.0, 1.5, math.NaN()} {
+		if _, err := NewCluster(g, Options{Ranks: 1, IncrementalRebuildFraction: f}); err == nil {
+			t.Errorf("IncrementalRebuildFraction=%v accepted", f)
+		}
+	}
+}

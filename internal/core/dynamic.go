@@ -267,6 +267,11 @@ func (p *Prepared) spliceCannon(ins, del [][2]int32) {
 	}
 	route(ins, &uIns, &lIns, &tIns, &mIns)
 	route(del, &uDel, &lDel, &tDel, &mDel)
+	if p.snap != nil {
+		markRows(p.snap.uRows, uIns, uDel)
+		markRows(p.snap.lCols, lIns, lDel)
+		markRows(p.snap.tRows, tIns, tDel)
+	}
 	spliceCSR(&blk.ublk, uIns, uDel)
 	spliceCSC(&blk.lblk, lIns, lDel)
 	spliceCSR(&blk.task, tIns, tDel)
@@ -325,6 +330,15 @@ func (p *Prepared) spliceSUMMA(rank int, ins, del [][2]int32) {
 	}
 	route(ins, true, &tIns, &mIns)
 	route(del, false, &tDel, &mDel)
+	if p.snap != nil {
+		for t, ed := range uEd {
+			markRows(p.snap.bucketRows(p.snap.uBuck, t), ed.ins, ed.del)
+		}
+		for t, ed := range lEd {
+			markRows(p.snap.bucketRows(p.snap.lBuck, t), ed.ins, ed.del)
+		}
+		markRows(p.snap.tRows, tIns, tDel)
+	}
 	for t, ed := range uEd {
 		b, ok := blk.uBucket[t]
 		if !ok {

@@ -31,7 +31,7 @@ import (
 
 const (
 	preparedMagic   = uint32(0x54435052) // "TCPR"
-	preparedVersion = uint32(1)
+	preparedVersion = uint32(2)
 
 	kindCannonState = byte(0)
 	kindSUMMAState  = byte(1)
@@ -147,6 +147,10 @@ func EncodePrepared(p *Prepared) []byte {
 	e.i64(p.wedges)
 	e.i32(p.labelBeg)
 	e.i32s(p.labels)
+	// Degree-dirty set (v2): sorted so the blob stays deterministic. A
+	// restored cluster needs it to keep choosing the incremental rebuild
+	// mode correctly.
+	e.i32s(sortedI32Set(p.degreeDirty))
 
 	switch kind {
 	case kindCannonState:
@@ -224,6 +228,7 @@ func DecodePrepared(blob []byte, rank, size int) (*Prepared, error) {
 	p.wedges = d.i64()
 	p.labelBeg = d.i32()
 	p.labels = d.i32s()
+	p.SetDegreeDirty(d.i32s())
 
 	switch kind {
 	case kindCannonState:

@@ -48,6 +48,13 @@ type Prepared struct {
 	labelBeg int32   // first cyclic id owned by this rank
 	mirror   *rowMirror
 
+	// Churn tracking (see dirty.go): degreeDirty is the replicated set of
+	// labels whose degree changed since the last rebuild fold; snap records
+	// the rows/columns/label slots this rank rewrote since the last
+	// committed snapshot (nil unless the durability layer enabled it).
+	degreeDirty map[int32]struct{}
+	snap        *snapDirty
+
 	// Resident kernel defaults for code paths that run intersections
 	// without a per-call Options value — the delta passes of the write
 	// path. Queries pass their own Options and ignore these. Seeded from

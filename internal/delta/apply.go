@@ -216,7 +216,7 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 	var removalDels [][2]int32
 	if len(remIdx) > 0 {
 		rowMod, _, rowRes, _ := prep.MirrorShape()
-		send := make([][]int32, p)
+		send := mpi.SendBufs(p)
 		c.Compute(func() {
 			for k, i := range remIdx {
 				lw := edges[i][0]
@@ -364,6 +364,10 @@ func Apply(c *mpi.Comm, prep *core.Prepared, batch []Update) (*Result, error) {
 		dWedges += new_*(new_-1)/2 - old*(old-1)/2
 	}
 
+	// The affected set is replicated and is exactly the batch's degree
+	// churn — feed it to the incremental-rebuild policy.
+	prep.MarkDegreeDirty(affected)
+
 	// Deletion pass against the old graph, splice, insertion pass against
 	// the new graph.
 	dCnt, dProbes := deltaPass(c, prep, dels, qr, qc, x, y)
@@ -429,7 +433,7 @@ func deltaPass(c *mpi.Comm, prep *core.Prepared, marked [][2]int32, qr, qc, x, y
 		return cnt, 0
 	}
 	mset := make(map[int64]struct{}, len(marked))
-	send := make([][]int32, c.Size())
+	send := mpi.SendBufs(c.Size())
 	c.Compute(func() {
 		for _, e := range marked {
 			mset[packEdge(e[0], e[1])] = struct{}{}

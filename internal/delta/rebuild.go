@@ -42,8 +42,21 @@ func Rebuild(c *mpi.Comm, prep *core.Prepared) (*core.Prepared, error) {
 	// (1) Reassemble the current graph as a 1D block distribution over the
 	// current labels: each rank's mirror holds one column-class slice of
 	// each of its rows, routed to the block owner of the row vertex.
-	send := make([][]int32, p)
+	send := mpi.SendBufs(p)
 	c.Compute(func() {
+		// Counting pre-pass so each destination buffer is allocated exactly
+		// once instead of growing through repeated appends.
+		need := make([]int, p)
+		for la := int32(rowRes); int64(la) < n; la += int32(rowMod) {
+			row := prep.AdjRow(la)
+			if len(row) == 0 {
+				continue
+			}
+			need[dgraph.BlockOwner(la, n, p)] += 2 + len(row)
+		}
+		for dst := range send {
+			send[dst] = growCap(send[dst], need[dst])
+		}
 		for la := int32(rowRes); int64(la) < n; la += int32(rowMod) {
 			row := prep.AdjRow(la)
 			if len(row) == 0 {
@@ -129,7 +142,7 @@ func Rebuild(c *mpi.Comm, prep *core.Prepared) (*core.Prepared, error) {
 	if int64(r) < n {
 		nloc = int((n - int64(r) + int64(p) - 1) / int64(p))
 	}
-	req := make([][]int32, p)
+	req := mpi.SendBufs(p)
 	slots := make([][]int32, p)
 	c.Compute(func() {
 		for lv := 0; lv < nloc; lv++ {
@@ -169,4 +182,12 @@ func Rebuild(c *mpi.Comm, prep *core.Prepared) (*core.Prepared, error) {
 	np.SetSpaceVersion(prep.Space().Version + 1)
 	np.SetKernelConfig(prep.KernelConfig())
 	return np, nil
+}
+
+// growCap returns buf emptied, with capacity at least need.
+func growCap(buf []int32, need int) []int32 {
+	if cap(buf) < need {
+		return make([]int32, 0, need)
+	}
+	return buf[:0]
 }

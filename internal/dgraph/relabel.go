@@ -84,9 +84,11 @@ func DegreeLabels(c *mpi.Comm, in *Dist1D, ops *int64) (labels []int32, newAdj [
 			reqs[r] = q[:w]
 		}
 	})
+	// AlltoallvInt32 takes ownership of (and recycles) its send buffers,
+	// and the binary-search rewrite below still needs reqs — send copies.
 	askCopies := make([][]int32, p)
 	for r := range reqs {
-		askCopies[r] = reqs[r] // AlltoallvInt32 copies; reqs stays valid
+		askCopies[r] = append([]int32(nil), reqs[r]...)
 	}
 	asked := c.AlltoallvInt32(askCopies)
 	resp := make([][]int32, p)

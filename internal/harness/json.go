@@ -124,15 +124,41 @@ type jsonRuntimeStat struct {
 	MetricsDelta  map[string]float64 `json:"metrics_delta,omitempty"`
 }
 
+// jsonMaintenanceRun is one machine-readable measurement of the
+// maintenance scenario (schema v7): one durable cluster absorbing a churn
+// batch, snapshotting and rebuilding under one of the four maintenance
+// configurations. The ratios compare the post-churn rebuild/snapshot cost
+// against the boot-time full build and base snapshot.
+type jsonMaintenanceRun struct {
+	Dataset     string  `json:"dataset"`
+	Ranks       int     `json:"ranks"`
+	ChurnFrac   float64 `json:"churn_frac"`
+	ChurnEdges  int     `json:"churn_edges"`
+	Incremental bool    `json:"incremental"`
+	DeltaSnap   bool    `json:"delta_snapshot"`
+	BuildOps    int64   `json:"build_ops"`
+	RebuildOps  int64   `json:"rebuild_ops"`
+	OpsRatio    float64 `json:"ops_ratio"`
+	MovedRows   int64   `json:"moved_rows"`
+	BaseBytes   int64   `json:"base_bytes"`
+	SnapBytes   int64   `json:"snapshot_bytes"`
+	BytesRatio  float64 `json:"bytes_ratio"`
+	SnapshotSec float64 `json:"snapshot_s"`
+	RebuildSec  float64 `json:"rebuild_s"`
+	Triangles   int64   `json:"triangles"`
+	WallSec     float64 `json:"wall_s"`
+}
+
 // jsonDoc is the envelope written by WriteBenchJSON; the schema is the
 // contract for the BENCH_*.json perf-trajectory records kept across PRs.
 // Schema v2 added the update_runs section; v3 added concurrent_runs (the
 // reader/writer scheduler scenario); v4 added growth_runs (the elastic
 // vertex-space scenario); v5 added kernel_runs (the intra-rank parallel
-// kernel sweep); v6 adds runtime (per-scenario self-observation of the
+// kernel sweep); v6 added runtime (per-scenario self-observation of the
 // benchmark process: peak heap, GC pauses, registry deltas — absent or
-// empty when nothing was observed). Readers that ignore unknown fields
-// still parse older sections.
+// empty when nothing was observed); v7 adds maintenance_runs (the
+// churn-proportional rebuild/snapshot scenario). Readers that ignore
+// unknown fields still parse older sections.
 type jsonDoc struct {
 	SchemaVersion int       `json:"schema_version"`
 	Generated     time.Time `json:"generated"`
@@ -141,23 +167,25 @@ type jsonDoc struct {
 		Beta     float64 `json:"beta_bytes_per_s"`
 		Overhead float64 `json:"overhead_s"`
 	} `json:"cost_model"`
-	Runs           []jsonRun           `json:"runs"`
-	UpdateRuns     []jsonUpdateRun     `json:"update_runs,omitempty"`
-	ConcurrentRuns []jsonConcurrentRun `json:"concurrent_runs,omitempty"`
-	GrowthRuns     []jsonGrowthRun     `json:"growth_runs,omitempty"`
-	KernelRuns     []jsonKernelRun     `json:"kernel_runs,omitempty"`
-	Runtime        []jsonRuntimeStat   `json:"runtime,omitempty"`
+	Runs            []jsonRun            `json:"runs"`
+	UpdateRuns      []jsonUpdateRun      `json:"update_runs,omitempty"`
+	ConcurrentRuns  []jsonConcurrentRun  `json:"concurrent_runs,omitempty"`
+	GrowthRuns      []jsonGrowthRun      `json:"growth_runs,omitempty"`
+	KernelRuns      []jsonKernelRun      `json:"kernel_runs,omitempty"`
+	MaintenanceRuns []jsonMaintenanceRun `json:"maintenance_runs,omitempty"`
+	Runtime         []jsonRuntimeStat    `json:"runtime,omitempty"`
 }
 
 // WriteBenchJSON emits the benchmark measurements as a machine-readable
 // JSON document: one record per (dataset, ranks) scaling point with the
 // triangle count, parallel phase times, communication fractions, operation
 // counters and real wall time, plus one record per dynamic-update,
-// concurrent-scheduler, vertex-growth and kernel-sweep scenario point, and
-// one runtime self-observation record per scenario that ran.
-func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, growth []GrowthRow, kernel []KernelRow, rt []RuntimeStat, cfg Config) error {
+// concurrent-scheduler, vertex-growth, kernel-sweep and maintenance
+// scenario point, and one runtime self-observation record per scenario
+// that ran.
+func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, growth []GrowthRow, kernel []KernelRow, maint []MaintenanceRow, rt []RuntimeStat, cfg Config) error {
 	var doc jsonDoc
-	doc.SchemaVersion = 6
+	doc.SchemaVersion = 7
 	doc.Generated = time.Now().UTC()
 	m := cfg.model()
 	doc.CostModel.Alpha = m.Alpha
@@ -252,6 +280,27 @@ func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []Conc
 			Probes:     r.Probes,
 			MapTasks:   r.MapTasks,
 			MergeTasks: r.MergeTasks,
+		})
+	}
+	for _, r := range maint {
+		doc.MaintenanceRuns = append(doc.MaintenanceRuns, jsonMaintenanceRun{
+			Dataset:     r.Dataset,
+			Ranks:       r.Ranks,
+			ChurnFrac:   r.ChurnFrac,
+			ChurnEdges:  r.ChurnEdges,
+			Incremental: r.Incremental,
+			DeltaSnap:   r.DeltaSnap,
+			BuildOps:    r.BuildOps,
+			RebuildOps:  r.RebuildOps,
+			OpsRatio:    r.OpsRatio,
+			MovedRows:   r.MovedRows,
+			BaseBytes:   r.BaseBytes,
+			SnapBytes:   r.SnapBytes,
+			BytesRatio:  r.BytesRatio,
+			SnapshotSec: r.SnapshotSec,
+			RebuildSec:  r.RebuildSec,
+			Triangles:   r.Triangles,
+			WallSec:     r.WallSec,
 		})
 	}
 	for _, r := range rt {

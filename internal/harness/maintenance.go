@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tc2d"
+	"tc2d/internal/obs"
+	"tc2d/internal/snapshot"
+)
+
+// MaintenanceRow is one measured point of the maintenance scenario: a
+// durable resident cluster absorbs a churn batch (a fixed fraction of the
+// edge count, half deletes, half inserts), snapshots, and rebuilds — once
+// per combination of {incremental, full} rebuild × {delta, full} snapshot.
+// The ratios are the scenario's point: how much preprocessing work the
+// incremental rebuild saves over the boot-time full build, and how many
+// bytes the delta snapshot saves over the boot-time base, at each churn
+// level. Snapshot/rebuild times are real wall seconds.
+type MaintenanceRow struct {
+	Dataset     string
+	Ranks       int
+	ChurnFrac   float64 // churn batch size as a fraction of the edge count
+	ChurnEdges  int     // mutations actually applied
+	Incremental bool    // rebuild ran the incremental pass (vs the full pipeline)
+	DeltaSnap   bool    // delta snapshots allowed (vs forced base)
+	BuildOps    int64   // preprocessing ops of the boot-time full build
+	RebuildOps  int64   // preprocessing ops of the post-churn rebuild
+	OpsRatio    float64 // BuildOps / RebuildOps
+	MovedRows   int64   // block rows the rebuild redistributed (incremental only)
+	BaseBytes   int64   // per-rank blob bytes of the boot base snapshot
+	SnapBytes   int64   // per-rank blob bytes of the post-churn snapshot
+	BytesRatio  float64 // BaseBytes / SnapBytes
+	SnapshotSec float64 // wall seconds of the post-churn snapshot
+	RebuildSec  float64 // wall seconds of the post-churn rebuild
+	Triangles   int64   // maintained count after the rebuild (verified)
+	WallSec     float64
+}
+
+// RunMaintenance measures the maintenance-cost scenario on one dataset at a
+// fixed rank count: for every churn fraction it runs the four maintenance
+// configurations (incremental vs full rebuild × delta vs base snapshot),
+// each on a fresh durable cluster in a temporary persistence directory, and
+// reports the op and byte ratios against the boot-time full build and base
+// snapshot. A non-nil reg is handed to every cluster as Options.Metrics so
+// the caller's runtime self-observation can record registry deltas.
+func RunMaintenance(spec Spec, p int, churns []float64, reg *obs.Registry) ([]MaintenanceRow, error) {
+	g, err := spec.Params.Generate(spec.Scale, spec.EdgeFactor, spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("harness: generate %s: %w", spec.Name, err)
+	}
+	// The undirected edge list, for sampling deletes and screening inserts.
+	edges := make([][2]int32, 0, g.NumEdges())
+	for u := int32(0); u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				edges = append(edges, [2]int32{u, v})
+			}
+		}
+	}
+	var rows []MaintenanceRow
+	for _, frac := range churns {
+		for _, mode := range []struct{ inc, delta bool }{
+			{true, true}, {true, false}, {false, true}, {false, false},
+		} {
+			row, err := runMaintenanceOnce(spec, g, edges, p, frac, mode.inc, mode.delta, reg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+// baseSnapshotBlobBytes sums the per-rank state blobs under dir — called
+// right after boot, when the only snapshot on disk is the initial base.
+func baseSnapshotBlobBytes(dir string) (int64, error) {
+	blobs, err := filepath.Glob(filepath.Join(dir, "snap-*", "rank-*.bin"))
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, b := range blobs {
+		st, err := os.Stat(b)
+		if err != nil {
+			return 0, err
+		}
+		total += st.Size()
+	}
+	return total, nil
+}
+
+func runMaintenanceOnce(spec Spec, g *tc2d.Graph, edges [][2]int32, p int, frac float64, incremental, deltaSnap bool, reg *obs.Registry) (*MaintenanceRow, error) {
+	t0 := time.Now()
+	fail := func(err error) error {
+		return fmt.Errorf("harness: maintenance %s on %d ranks (churn=%v inc=%v delta=%v): %w",
+			spec.Name, p, frac, incremental, deltaSnap, err)
+	}
+	dir, err := os.MkdirTemp("", "tc2d-maint-*")
+	if err != nil {
+		return nil, fail(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opt := tc2d.Options{
+		Ranks:               p,
+		PersistDir:          dir,
+		DisableAutoRebuild:  true,
+		DisableAutoSnapshot: true,
+		Metrics:             reg,
+	}
+	if incremental {
+		opt.IncrementalRebuildFraction = 0.99
+	} else {
+		opt.DisableIncrementalRebuild = true
+	}
+	if !deltaSnap {
+		opt.DisableDeltaSnapshot = true
+	}
+	cl, err := tc2d.NewCluster(g, opt)
+	if err != nil {
+		return nil, fail(err)
+	}
+	defer cl.Close()
+
+	info := cl.Info()
+	buildOps := info.PreOps
+	baseBytes, err := baseSnapshotBlobBytes(dir)
+	if err != nil {
+		return nil, fail(err)
+	}
+
+	// The churn batch: ~frac·M mutations, half deletes of resident edges,
+	// half inserts of provably absent pairs.
+	churn := int(frac * float64(info.M))
+	if churn < 2 {
+		churn = 2
+	}
+	rng := rand.New(rand.NewSource(int64(spec.Seed)*5417 + int64(p) + int64(frac*1e6)))
+	present := make(map[[2]int32]bool, len(edges))
+	for _, e := range edges {
+		present[e] = true
+	}
+	perm := rng.Perm(len(edges))
+	upd := make([]tc2d.EdgeUpdate, 0, churn)
+	touched := make(map[[2]int32]bool, churn) // one op per edge per batch
+	for i := 0; i < churn/2 && i < len(perm); i++ {
+		e := edges[perm[i]]
+		delete(present, e)
+		touched[e] = true
+		upd = append(upd, tc2d.EdgeUpdate{U: e[0], V: e[1], Op: tc2d.UpdateDelete})
+	}
+	for len(upd) < churn {
+		u, v := int32(rng.Intn(int(g.N))), int32(rng.Intn(int(g.N)))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]int32{u, v}
+		if present[k] || touched[k] {
+			continue
+		}
+		present[k] = true
+		touched[k] = true
+		upd = append(upd, tc2d.EdgeUpdate{U: u, V: v, Op: tc2d.UpdateInsert})
+	}
+	if _, err := cl.ApplyUpdates(upd); err != nil {
+		return nil, fail(err)
+	}
+	maintained, err := cl.Count(tc2d.QueryOptions{})
+	if err != nil {
+		return nil, fail(err)
+	}
+
+	// Snapshot before the rebuild: a full rebuild forces the next snapshot
+	// back to a base, which would spoil the churn-proportional measurement.
+	ts := time.Now()
+	sinfo, err := cl.Snapshot()
+	if err != nil {
+		return nil, fail(err)
+	}
+	snapshotSec := time.Since(ts).Seconds()
+	wantKind := snapshot.KindBase
+	if deltaSnap {
+		wantKind = snapshot.KindDelta
+	}
+	if sinfo.Kind != wantKind {
+		return nil, fail(fmt.Errorf("snapshot kind %q, want %q", sinfo.Kind, wantKind))
+	}
+
+	movedBefore := cl.Metrics().Snapshot()["tc_rebuild_moved_rows_total"]
+	tr := time.Now()
+	if err := cl.Rebuild(); err != nil {
+		return nil, fail(err)
+	}
+	rebuildSec := time.Since(tr).Seconds()
+	movedRows := int64(cl.Metrics().Snapshot()["tc_rebuild_moved_rows_total"] - movedBefore)
+	info = cl.Info()
+	if !incremental && info.IncrementalRebuilds != 0 {
+		return nil, fail(fmt.Errorf("incremental rebuild ran with DisableIncrementalRebuild set"))
+	}
+	// At high churn the dirty set can exceed the eligibility threshold and
+	// the rebuild legitimately falls back to the full pipeline; the row
+	// reports the mode that actually ran, not the one requested.
+	ranIncremental := info.IncrementalRebuilds > 0
+
+	// The rebuild must not change the maintained count.
+	after, err := cl.Count(tc2d.QueryOptions{})
+	if err != nil {
+		return nil, fail(err)
+	}
+	if after.Triangles != maintained.Triangles {
+		return nil, fail(fmt.Errorf("rebuild changed the count: %d != %d", after.Triangles, maintained.Triangles))
+	}
+
+	row := &MaintenanceRow{
+		Dataset: spec.Name, Ranks: p, ChurnFrac: frac, ChurnEdges: len(upd),
+		Incremental: ranIncremental, DeltaSnap: deltaSnap,
+		BuildOps: buildOps, RebuildOps: info.PreOps, MovedRows: movedRows,
+		BaseBytes: baseBytes, SnapBytes: sinfo.Bytes,
+		SnapshotSec: snapshotSec, RebuildSec: rebuildSec,
+		Triangles: after.Triangles, WallSec: time.Since(t0).Seconds(),
+	}
+	if row.RebuildOps > 0 {
+		row.OpsRatio = float64(row.BuildOps) / float64(row.RebuildOps)
+	}
+	if row.SnapBytes > 0 {
+		row.BytesRatio = float64(row.BaseBytes) / float64(row.SnapBytes)
+	}
+	return row, nil
+}
+
+// TableMaintenance prints the maintenance scenario: per churn level, the
+// rebuild op ratio and snapshot byte ratio of the churn-proportional paths
+// against their full-cost counterparts.
+func TableMaintenance(w io.Writer, rows []MaintenanceRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fprintf(w, "Maintenance — churn-proportional rebuilds and snapshots (wall-clock times)\n")
+	fprintf(w, "%-22s %6s %7s %8s %8s %12s %7s %9s %12s %7s %10s %10s\n",
+		"dataset", "ranks", "churn", "rebuild", "snap",
+		"rebuildOps", "opsX", "moved", "snapBytes", "bytesX", "rebuild(s)", "snap(s)")
+	mode := func(b bool, yes, no string) string {
+		if b {
+			return yes
+		}
+		return no
+	}
+	for _, r := range rows {
+		fprintf(w, "%-22s %6d %6.1f%% %8s %8s %12d %6.1fx %9d %12d %6.1fx %10s %10s\n",
+			r.Dataset, r.Ranks, 100*r.ChurnFrac,
+			mode(r.Incremental, "incr", "full"), mode(r.DeltaSnap, "delta", "base"),
+			r.RebuildOps, r.OpsRatio, r.MovedRows, r.SnapBytes, r.BytesRatio,
+			fmtSecs(r.RebuildSec), fmtSecs(r.SnapshotSec))
+	}
+	return nil
+}

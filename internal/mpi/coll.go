@@ -287,13 +287,17 @@ func (c *Comm) Alltoallv(send [][]byte) [][]byte {
 	return recv
 }
 
-// AlltoallvInt32 is Alltoallv over int32 payloads.
+// AlltoallvInt32 is Alltoallv over int32 payloads. Ownership of the send
+// buffers transfers to the runtime: their contents are copied to the wire
+// staging and the buffers recycled into the send pool (see SendBufs), so
+// callers must not read them after the call.
 func (c *Comm) AlltoallvInt32(send [][]int32) [][]int32 {
 	p := c.world.size
 	bufs := make([][]byte, p)
 	for d := range send {
 		bufs[d] = Int32sToBytes(send[d])
 	}
+	recycleSendBufs(send)
 	got := c.Alltoallv(bufs)
 	out := make([][]int32, p)
 	for s := range got {
@@ -342,13 +346,18 @@ func (c *Comm) AlltoallvSparse(send [][]byte) [][]byte {
 	return recv
 }
 
-// AlltoallvSparseInt32 is AlltoallvSparse over int32 payloads.
+// AlltoallvSparseInt32 is AlltoallvSparse over int32 payloads. Like
+// AlltoallvInt32 it takes ownership of the send buffers and recycles them
+// into the send pool; callers must not read them after the call.
 func (c *Comm) AlltoallvSparseInt32(send [][]int32) [][]int32 {
 	p := c.world.size
 	bufs := make([][]byte, p)
 	for d := range send {
-		bufs[d] = Int32sToBytes(send[d])
+		if len(send[d]) > 0 {
+			bufs[d] = Int32sToBytes(send[d])
+		}
 	}
+	recycleSendBufs(send)
 	got := c.AlltoallvSparse(bufs)
 	out := make([][]int32, p)
 	for s := range got {

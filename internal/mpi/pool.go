@@ -1,0 +1,38 @@
+package mpi
+
+import "sync"
+
+// sendPool recycles the per-destination []int32 staging buffers the int32
+// collectives consume. The write path of the dynamic-update subsystem runs
+// one or more all-to-alls per epoch, each staging its payloads in freshly
+// appended buffers; recycling them caps steady-state allocation volume at
+// the high-water mark instead of re-allocating every epoch.
+var sendPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// SendBufs returns p empty int32 send buffers drawn from the process-wide
+// send pool. Pass the slice to AlltoallvInt32 or AlltoallvSparseInt32 —
+// those collectives recycle every send buffer (pooled or not) once its
+// contents are staged for the wire, so epochs that draw their staging
+// memory here stop allocating it. The buffers start empty with arbitrary
+// capacity; fill them with append.
+func SendBufs(p int) [][]int32 {
+	out := make([][]int32, p)
+	for i := range out {
+		out[i] = (*sendPool.Get().(*[]int32))[:0]
+	}
+	return out
+}
+
+// recycleSendBufs returns send payloads to the pool once their bytes are
+// staged. The caller-visible entries are nilled so a stale read fails fast
+// instead of observing recycled memory.
+func recycleSendBufs(send [][]int32) {
+	for i, b := range send {
+		send[i] = nil
+		if cap(b) == 0 {
+			continue
+		}
+		b = b[:0]
+		sendPool.Put(&b)
+	}
+}

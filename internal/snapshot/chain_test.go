@@ -1,0 +1,115 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeChainSnap is writeSnap with explicit chain fields.
+func writeChainSnap(t *testing.T, dir string, seq uint64, kind string, parent uint64, chainLen int) {
+	t.Helper()
+	w, err := NewWriter(dir, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRank(0, []byte{byte(seq)}); err != nil {
+		t.Fatal(err)
+	}
+	m := Manifest{Ranks: 1, Kind: kind, BaseM: 100}
+	if kind == KindDelta {
+		m.ParentSeq, m.ChainLen = parent, chainLen
+	}
+	if err := w.Commit(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func snapSeqs(t *testing.T, dir string) []uint64 {
+	t.Helper()
+	seqs, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqs
+}
+
+// TestPruneChainsRetention: the chain-aware policy keeps the newest
+// keepBases bases plus every snapshot above the oldest retained base — a
+// delta is never orphaned from the base it needs.
+func TestPruneChainsRetention(t *testing.T) {
+	dir := t.TempDir()
+	writeChainSnap(t, dir, 1, KindBase, 0, 0)
+	writeChainSnap(t, dir, 2, KindDelta, 1, 1)
+	writeChainSnap(t, dir, 3, KindDelta, 2, 2)
+	writeChainSnap(t, dir, 4, KindBase, 0, 0)
+	writeChainSnap(t, dir, 5, KindDelta, 4, 1)
+	writeChainSnap(t, dir, 6, KindBase, 0, 0)
+	writeChainSnap(t, dir, 7, KindDelta, 6, 1)
+
+	if err := PruneChains(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := snapSeqs(t, dir)
+	want := []uint64{4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("retained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("retained %v, want %v", got, want)
+		}
+	}
+	// The evicted chain is really gone from disk.
+	if _, err := os.Stat(filepath.Join(dir, snapDirName(2))); !os.IsNotExist(err) {
+		t.Fatalf("evicted delta snap-2 still on disk (err=%v)", err)
+	}
+}
+
+// TestPruneChainsLegacyKindlessBase: manifests written before chains
+// existed carry no kind and must count as bases, not be swept as orphans.
+func TestPruneChainsLegacyKindlessBase(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 1, 1, func(int) []byte { return []byte{1} }) // no Kind set
+	writeChainSnap(t, dir, 2, KindDelta, 1, 1)
+	writeChainSnap(t, dir, 3, KindBase, 0, 0)
+
+	if err := PruneChains(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := snapSeqs(t, dir)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("retained %v, want [3]", got)
+	}
+}
+
+// TestPruneChainsNoReadableBase: with nothing but deltas on disk the policy
+// must delete no snapshot — corrupt-chain recovery may still salvage one.
+func TestPruneChainsNoReadableBase(t *testing.T) {
+	dir := t.TempDir()
+	writeChainSnap(t, dir, 1, KindDelta, 0, 1)
+	writeChainSnap(t, dir, 2, KindDelta, 1, 2)
+
+	if err := PruneChains(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapSeqs(t, dir); len(got) != 2 {
+		t.Fatalf("retained %v, want both orphan deltas", got)
+	}
+}
+
+// TestLoadRejectsDeltaParentCycle: a delta whose parent is not strictly
+// older than itself can never terminate chain resolution and must be
+// refused at load time.
+func TestLoadRejectsDeltaParentCycle(t *testing.T) {
+	dir := t.TempDir()
+	for _, parent := range []uint64{3, 5} {
+		writeChainSnap(t, dir, 3, KindDelta, parent, 1)
+		if _, err := Load(dir, 3); err == nil {
+			t.Errorf("delta with parent_seq=%d at seq 3 loaded, want error", parent)
+		}
+		if err := Remove(dir, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -89,8 +89,31 @@ type Manifest struct {
 	BaseM        int64 `json:"base_m"`
 	AppliedEdges int64 `json:"applied_edges"`
 
+	// Delta-chain fields. Kind is KindBase (or empty, for snapshots written
+	// before chains existed) when the rank blobs are full state, KindDelta
+	// when they are churn-proportional diffs to apply on top of the state
+	// at ParentSeq (which may itself be a delta). ChainLen counts the
+	// deltas between this snapshot and its base; ChurnSinceBase the
+	// effective edges applied since that base, so a reopened cluster
+	// resumes the compaction policy where it left off.
+	Kind           string `json:"kind,omitempty"`
+	ParentSeq      uint64 `json:"parent_seq,omitempty"`
+	ChainLen       int    `json:"chain_len,omitempty"`
+	ChurnSinceBase int64  `json:"churn_since_base,omitempty"`
+
 	RankFiles []RankFile `json:"rank_files"`
 }
+
+// Snapshot kinds. The empty string reads as KindBase for compatibility with
+// manifests written before delta chains existed.
+const (
+	KindBase  = "base"
+	KindDelta = "delta"
+)
+
+// IsDelta reports whether the snapshot's rank blobs are diffs chained off
+// ParentSeq rather than full state.
+func (m *Manifest) IsDelta() bool { return m.Kind == KindDelta }
 
 const (
 	manifestName = "MANIFEST.json"
@@ -297,6 +320,9 @@ func Load(dir string, seq uint64) (*Manifest, error) {
 	if m.AppliedSeq != seq {
 		return nil, fmt.Errorf("snapshot %d: manifest claims applied seq %d: %w", seq, m.AppliedSeq, ErrCorrupt)
 	}
+	if m.IsDelta() && m.ParentSeq >= seq {
+		return nil, fmt.Errorf("snapshot %d: delta chains off non-earlier snapshot %d: %w", seq, m.ParentSeq, ErrCorrupt)
+	}
 	for r, rf := range m.RankFiles {
 		st, err := os.Stat(filepath.Join(dir, snapDirName(seq), rf.Name))
 		if err != nil || st.Size() != rf.Size {
@@ -395,6 +421,13 @@ func Prune(dir string, keep int) error {
 	} else if len(seqs) > 0 {
 		oldestKept = seqs[0]
 	}
+	return cleanSegments(dir, oldestKept)
+}
+
+// cleanSegments deletes WAL segments fully superseded by the oldest
+// retained snapshot (see Prune for the boundary rule) and sweeps temp
+// directories of crashed snapshot attempts.
+func cleanSegments(dir string, oldestKept uint64) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -419,6 +452,47 @@ func Prune(dir string, keep int) error {
 		}
 	}
 	return nil
+}
+
+// PruneChains is the chain-aware retention policy: keep the newest
+// keepBases BASE snapshots plus every snapshot above the oldest retained
+// base (the delta chains that depend on it), delete everything older, and
+// delete the superseded WAL segments. A snapshot whose manifest cannot be
+// read counts as a delta (it can never serve as a fallback base); if no
+// readable base exists at all nothing is deleted — corrupt-chain recovery
+// may still salvage an older snapshot.
+func PruneChains(dir string, keepBases int) error {
+	seqs, err := List(dir)
+	if err != nil {
+		return err
+	}
+	if len(seqs) == 0 {
+		return nil
+	}
+	if keepBases < 1 {
+		keepBases = 1
+	}
+	var bases []uint64
+	for _, seq := range seqs {
+		if m, err := Load(dir, seq); err == nil && !m.IsDelta() {
+			bases = append(bases, seq)
+		}
+	}
+	if len(bases) == 0 {
+		return cleanSegments(dir, seqs[0])
+	}
+	cutoff := bases[0]
+	if len(bases) > keepBases {
+		cutoff = bases[len(bases)-keepBases]
+	}
+	for _, seq := range seqs {
+		if seq < cutoff {
+			if err := os.RemoveAll(filepath.Join(dir, snapDirName(seq))); err != nil {
+				return err
+			}
+		}
+	}
+	return cleanSegments(dir, cutoff)
 }
 
 // Little-endian scalar helpers shared with the WAL encoding.

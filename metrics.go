@@ -42,6 +42,14 @@ type clusterMetrics struct {
 	coalesceSize  *obs.Histogram
 	rebuilds      *obs.Counter
 
+	// Rebuild mode split and the incremental mode's savings: rebuildsBy is
+	// keyed by mode label (incremental, full); savedOps accumulates the
+	// preprocessing operations incremental rebuilds avoided versus the last
+	// full build, movedRows the block rows they physically relocated.
+	rebuildsBy       map[string]*obs.Counter
+	rebuildSavedOps  *obs.Counter
+	rebuildMovedRows *obs.Counter
+
 	// Resident graph state.
 	vertices  *obs.Gauge
 	edges     *obs.Gauge
@@ -59,7 +67,15 @@ type clusterMetrics struct {
 	snapSeconds  *obs.Histogram
 	snapBytes    *obs.Histogram
 	snapLastSeq  *obs.Gauge
+
+	// Delta-compressed snapshots: the subset of snapshot writes that were
+	// churn-proportional diffs, and their (much smaller) sizes.
+	snapDeltaWrites *obs.Counter
+	snapDeltaBytes  *obs.Histogram
 }
+
+// rebuildModes are the mode labels of tc_rebuilds_total.
+var rebuildModes = []string{"incremental", "full"}
 
 // queryOps are the operation labels of the query-level series.
 var queryOps = []string{"count", "transitivity", "update", "snapshot"}
@@ -96,6 +112,11 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 			"Caller batches absorbed per write epoch.", batchBuckets),
 		rebuilds: reg.Counter("tc_cluster_rebuilds_total",
 			"Staleness (or explicit) rebuilds of the resident blocks."),
+		rebuildsBy: make(map[string]*obs.Counter, len(rebuildModes)),
+		rebuildSavedOps: reg.Counter("tc_rebuild_saved_ops_total",
+			"Preprocessing operations incremental rebuilds avoided versus the last full build."),
+		rebuildMovedRows: reg.Counter("tc_rebuild_moved_rows_total",
+			"Block rows incremental rebuilds physically relocated."),
 
 		vertices: reg.Gauge("tc_graph_vertices",
 			"Vertices of the resident graph."),
@@ -128,6 +149,17 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 			obs.SizeBuckets),
 		snapLastSeq: reg.Gauge("tc_snapshot_last_seq",
 			"WAL sequence covered by the newest published snapshot."),
+		snapDeltaWrites: reg.Counter("tc_snapshot_delta_writes_total",
+			"Snapshots published as churn-proportional delta blobs chained off a base."),
+		snapDeltaBytes: reg.Histogram("tc_snapshot_delta_bytes",
+			"Total size of the per-rank delta blobs of one delta snapshot.",
+			obs.SizeBuckets),
+	}
+	for _, mode := range rebuildModes {
+		m.rebuildsBy[mode] = reg.Counter("tc_rebuilds_total",
+			"Rebuilds of the resident blocks by mode: incremental (churn-proportional "+
+				"partial re-sort) or full (complete preprocessing pipeline).",
+			obs.L("mode", mode))
 	}
 	for _, op := range queryOps {
 		m.queries[op] = reg.Counter("tc_queries_total",
@@ -161,6 +193,23 @@ func (m *clusterMetrics) observeOp(op string, start time.Time, err error) {
 		return
 	}
 	m.queries[op].Inc()
+}
+
+// observeRebuild records one completed rebuild: the unlabeled legacy
+// counter, the per-mode counter, and — for incremental rebuilds — the
+// saved-ops and moved-rows accumulators.
+func (m *clusterMetrics) observeRebuild(mode string, savedOps int64, movedRows int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.rebuilds.Inc()
+	m.rebuildsBy[mode].Inc()
+	if mode == "incremental" {
+		if savedOps > 0 {
+			m.rebuildSavedOps.Add(float64(savedOps))
+		}
+		m.rebuildMovedRows.Add(float64(movedRows))
+	}
 }
 
 // walObserver adapts the WAL's append callback onto the registry; nil when

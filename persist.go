@@ -61,6 +61,12 @@ type SnapshotInfo struct {
 	// Triangles is the maintained triangle total at snapshot time (-1 if no
 	// count had completed yet).
 	Triangles int64
+	// Kind is "base" for a full-state snapshot and "delta" for a
+	// churn-proportional diff chained off the previous snapshot; ChainLen
+	// is the number of deltas between this snapshot and its base (0 for a
+	// base).
+	Kind     string
+	ChainLen int
 }
 
 // PersistInfo is the durability section of ClusterInfo. The zero value
@@ -79,6 +85,15 @@ type PersistInfo struct {
 	// LastSnapshotSeq is the sequence the newest one covers.
 	Snapshots       int64
 	LastSnapshotSeq uint64
+	// DeltaSnapshots is the subset of Snapshots written as delta blobs.
+	// BaseSnapshotSeq is the sequence of the base the current chain hangs
+	// off, ChainLen the number of deltas since it, and ChurnSinceBase the
+	// effective edge mutations accumulated since that base — the compaction
+	// policy's currency.
+	DeltaSnapshots  int64
+	BaseSnapshotSeq uint64
+	ChainLen        int
+	ChurnSinceBase  int64
 }
 
 // persister is a Cluster's durability state. WAL appends happen only on the
@@ -87,9 +102,10 @@ type PersistInfo struct {
 // take a while; mu guards only the counters and is held briefly, so Info()
 // (and tcd's /stats) never blocks behind an in-flight snapshot.
 type persister struct {
-	dir      string
-	snapFrac float64
-	autoSnap bool
+	dir       string
+	snapFrac  float64
+	autoSnap  bool
+	deltaSnap bool // write churn-proportional delta snapshots when eligible
 
 	snapMu sync.Mutex // serializes snapshotShared end to end
 
@@ -102,6 +118,33 @@ type persister struct {
 	snapshots int64
 	lastInfo  *SnapshotInfo
 	failed    error // set when the WAL can no longer be trusted to be ahead
+
+	// Delta-chain state. baseSeq/haveBase name the base snapshot the chain
+	// hangs off; chainLen counts the deltas since it; churnBase the
+	// effective edge mutations since it (never reset by delta snapshots —
+	// it is the compaction trigger's currency). forceBase is set by a full
+	// rebuild: the replacement state shares nothing with what the chain
+	// captured, so the next snapshot must be a fresh base.
+	baseSeq   uint64
+	haveBase  bool
+	chainLen  int
+	churnBase int64
+	forceBase bool
+	deltas    int64 // delta snapshots written by this process
+}
+
+// snapshotChainLimit caps how many delta snapshots may chain off one base
+// before the next snapshot compacts the chain into a fresh base. Restores
+// replay the whole chain, so the limit bounds both restore work and the
+// blast radius of a corrupt chain member.
+const snapshotChainLimit = 4
+
+// noteFullRebuild marks that the resident state was swapped wholesale: the
+// next snapshot must be a base.
+func (p *persister) noteFullRebuild() {
+	p.mu.Lock()
+	p.forceBase = true
+	p.mu.Unlock()
 }
 
 // brokenErr reports the retirement error, if the persister has one.
@@ -179,11 +222,17 @@ func (cl *Cluster) initPersist(opt Options, snapFrac float64) error {
 		return err
 	}
 	wal.SetObserver(cl.metrics.walObserver())
+	// Track per-row/label dirtiness from the start, so every snapshot after
+	// the initial base can be a churn-proportional delta.
+	for _, pr := range cl.prep {
+		pr.EnableSnapshotTracking()
+	}
 	cl.persist = &persister{
-		dir:      opt.PersistDir,
-		snapFrac: snapFrac,
-		autoSnap: !opt.DisableAutoSnapshot,
-		wal:      wal,
+		dir:       opt.PersistDir,
+		snapFrac:  snapFrac,
+		autoSnap:  !opt.DisableAutoSnapshot,
+		deltaSnap: !opt.DisableDeltaSnapshot,
+		wal:       wal,
 	}
 	if _, err := cl.snapshotShared(); err != nil {
 		wal.Close()
@@ -213,6 +262,7 @@ func (cl *Cluster) logCommitted(batch []delta.Update, effEdges int64) error {
 	}
 	p.seq++
 	p.walEdges += effEdges
+	p.churnBase += effEdges
 	return nil
 }
 
@@ -307,6 +357,19 @@ func (cl *Cluster) snapshotSharedTraced(parent *obs.Span) (*SnapshotInfo, error)
 		return &info, nil
 	}
 	snapSeq := p.snapSeq
+	// Delta eligibility: a base must exist for the chain to hang off, the
+	// resident state must not have been swapped by a full rebuild since,
+	// the chain must be under its length limit, and the churn accumulated
+	// since the base must be modest — past SnapshotFraction of the base
+	// edge count per chain link, replaying the chain approaches the cost of
+	// a base, so the snapshot compacts instead. cl.baseM is stable here:
+	// it only changes on the write path, which the caller's gate excludes.
+	useDelta := p.deltaSnap && p.haveBase && !p.forceBase &&
+		p.chainLen < snapshotChainLimit &&
+		float64(p.churnBase) <= p.snapFrac*float64(cl.baseM)*snapshotChainLimit
+	parentSeq := p.snapSeq
+	chainLen := p.chainLen + 1
+	churnBase := p.churnBase
 	p.mu.Unlock()
 
 	// Nothing committed since the snapshot on disk (possible right after a
@@ -334,7 +397,13 @@ func (cl *Cluster) snapshotSharedTraced(parent *obs.Span) (*SnapshotInfo, error)
 	prep := cl.prep
 	results, err := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
 		var blob []byte
-		c.Compute(func() { blob = core.EncodePrepared(prep[c.Rank()]) })
+		c.Compute(func() {
+			if useDelta {
+				blob = core.EncodePreparedDelta(prep[c.Rank()])
+			} else {
+				blob = core.EncodePrepared(prep[c.Rank()])
+			}
+		})
 		if err := w.WriteRank(c.Rank(), blob); err != nil {
 			return nil, err
 		}
@@ -351,8 +420,7 @@ func (cl *Cluster) snapshotSharedTraced(parent *obs.Span) (*SnapshotInfo, error)
 	}
 	qr, qc, summa := prep[0].GridShape()
 	tri := cl.lastTri.Load()
-	commitSpan := parent.StartChild("commit")
-	if err := w.Commit(snapshot.Manifest{
+	m := snapshot.Manifest{
 		AppliedSeq:   seq,
 		Ranks:        cl.ranks,
 		SUMMA:        summa,
@@ -362,12 +430,28 @@ func (cl *Cluster) snapshotSharedTraced(parent *obs.Span) (*SnapshotInfo, error)
 		Triangles:    tri,
 		BaseM:        cl.baseM,
 		AppliedEdges: cl.appliedEdges,
-	}); err != nil {
+		Kind:         snapshot.KindBase,
+	}
+	if useDelta {
+		m.Kind = snapshot.KindDelta
+		m.ParentSeq = parentSeq
+		m.ChainLen = chainLen
+		m.ChurnSinceBase = churnBase
+	}
+	commitSpan := parent.StartChild("commit")
+	if err := w.Commit(m); err != nil {
 		commitSpan.End()
 		w.Abort()
 		return nil, err
 	}
 	commitSpan.End()
+	// The snapshot is durable: the dirty row/label sets it consumed reset,
+	// so the NEXT delta carries only churn from here on. Safe without the
+	// epoch: the caller's gate excludes writers, and readers never touch
+	// the tracking maps.
+	for _, pr := range prep {
+		pr.ResetSnapshotDirty()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	rotateSpan := parent.StartChild("rotate")
@@ -382,13 +466,34 @@ func (cl *Cluster) snapshotSharedTraced(parent *obs.Span) (*SnapshotInfo, error)
 	p.snapSeq = seq
 	p.walEdges = 0
 	p.snapshots++
-	snapshot.Prune(p.dir, snapshotRetention)
-	p.lastInfo = &SnapshotInfo{Seq: seq, Path: snapshot.Dir(p.dir, seq), Bytes: bytes, Triangles: tri}
-	if m := cl.metrics; m != nil && m.reg != nil {
-		m.snapWrites.Inc()
-		m.snapSeconds.Observe(time.Since(start).Seconds())
-		m.snapBytes.Observe(float64(bytes))
-		m.snapLastSeq.Set(float64(seq))
+	if useDelta {
+		p.chainLen = chainLen
+		p.deltas++
+	} else {
+		p.baseSeq = seq
+		p.haveBase = true
+		p.chainLen = 0
+		p.churnBase = 0
+		p.forceBase = false
+	}
+	snapshot.PruneChains(p.dir, snapshotRetention)
+	kind := snapshot.KindBase
+	if useDelta {
+		kind = snapshot.KindDelta
+	}
+	p.lastInfo = &SnapshotInfo{
+		Seq: seq, Path: snapshot.Dir(p.dir, seq), Bytes: bytes, Triangles: tri,
+		Kind: kind, ChainLen: m.ChainLen,
+	}
+	if mm := cl.metrics; mm != nil && mm.reg != nil {
+		mm.snapWrites.Inc()
+		mm.snapSeconds.Observe(time.Since(start).Seconds())
+		mm.snapBytes.Observe(float64(bytes))
+		mm.snapLastSeq.Set(float64(seq))
+		if useDelta {
+			mm.snapDeltaWrites.Inc()
+			mm.snapDeltaBytes.Observe(float64(bytes))
+		}
 	}
 	info := *p.lastInfo
 	return &info, nil
@@ -402,7 +507,14 @@ func infoFromManifest(dir string, m *snapshot.Manifest) SnapshotInfo {
 	for _, rf := range m.RankFiles {
 		bytes += rf.Size
 	}
-	return SnapshotInfo{Seq: m.AppliedSeq, Path: snapshot.Dir(dir, m.AppliedSeq), Bytes: bytes, Triangles: m.Triangles}
+	kind := m.Kind
+	if kind == "" {
+		kind = snapshot.KindBase
+	}
+	return SnapshotInfo{
+		Seq: m.AppliedSeq, Path: snapshot.Dir(dir, m.AppliedSeq), Bytes: bytes,
+		Triangles: m.Triangles, Kind: kind, ChainLen: m.ChainLen,
+	}
 }
 
 // persistInfo snapshots the durability stats for ClusterInfo.
@@ -423,6 +535,10 @@ func (cl *Cluster) persistInfo() PersistInfo {
 		ReplayedBatches: p.replayed,
 		Snapshots:       p.snapshots,
 		LastSnapshotSeq: p.snapSeq,
+		DeltaSnapshots:  p.deltas,
+		BaseSnapshotSeq: p.baseSeq,
+		ChainLen:        p.chainLen,
+		ChurnSinceBase:  p.churnBase,
 	}
 }
 
@@ -464,6 +580,13 @@ func OpenCluster(dir string, opt Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	incFrac, err := opt.incrementalRebuildFraction()
+	if err != nil {
+		return nil, err
+	}
+	if opt.DisableIncrementalRebuild {
+		incFrac = 0
+	}
 	if opt.MaxVertices < 0 {
 		return nil, fmt.Errorf("tc2d: MaxVertices=%d must be non-negative", opt.MaxVertices)
 	}
@@ -476,22 +599,30 @@ func OpenCluster(dir string, opt Options) (*Cluster, error) {
 	}
 
 	// Newest valid snapshot: try manifests newest-first; a candidate whose
-	// manifest or rank blobs fail validation falls through to the one
-	// before — and is deleted, so the retention policy never counts a
-	// known-corrupt snapshot toward its quota (keeping it could evict the
+	// manifest, delta chain or rank blobs fail validation falls through to
+	// the one before — and is deleted, so the retention policy never counts
+	// a known-corrupt snapshot toward its quota (keeping it could evict the
 	// valid fallback on the next Prune). Its data is unreadable by
-	// construction (failed checksums), so nothing recoverable is lost.
+	// construction (failed checksums), so nothing recoverable is lost. A
+	// delta terminal restores through its whole chain (base blobs first,
+	// then each delta in order); a corrupt chain member fails the terminal,
+	// and the walk eventually reaches an intact prefix of the chain — or
+	// the base itself — whose longer WAL tail replays the difference.
 	var lastErr error
 	for i := len(seqs) - 1; i >= 0; i-- {
 		m, err := snapshot.Load(dir, seqs[i])
 		if err == nil {
-			var cl *Cluster
-			cl, err = openFromManifest(dir, m, opt, frac, snapFrac)
+			var chain []*snapshot.Manifest
+			chain, err = loadChain(dir, m)
 			if err == nil {
-				return cl, nil
-			}
-			if !errors.Is(err, ErrSnapshotCorrupt) {
-				return nil, err
+				var cl *Cluster
+				cl, err = openFromChain(dir, chain, opt, frac, snapFrac, incFrac)
+				if err == nil {
+					return cl, nil
+				}
+				if !errors.Is(err, ErrSnapshotCorrupt) {
+					return nil, err
+				}
 			}
 		}
 		lastErr = err
@@ -504,9 +635,38 @@ func OpenCluster(dir string, opt Options) (*Cluster, error) {
 	return nil, lastErr
 }
 
-// openFromManifest restores from one validated manifest: decode every rank
-// blob in parallel, replay the WAL tail, and hand back a serving cluster.
-func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapFrac float64) (*Cluster, error) {
+// loadChain resolves the restore chain of a terminal manifest: the base
+// snapshot first, then every delta in application order, ending at the
+// terminal. A base terminal is a chain of one. A missing, unreadable or
+// inconsistent parent makes the whole terminal corrupt — the caller falls
+// back to an older snapshot.
+func loadChain(dir string, m *snapshot.Manifest) ([]*snapshot.Manifest, error) {
+	chain := []*snapshot.Manifest{m}
+	for chain[0].IsDelta() {
+		if len(chain) > snapshotChainLimit+1 {
+			return nil, fmt.Errorf("tc2d: snapshot %d has a delta chain longer than %d: %w",
+				m.AppliedSeq, snapshotChainLimit, ErrSnapshotCorrupt)
+		}
+		parent, err := snapshot.Load(dir, chain[0].ParentSeq)
+		if err != nil {
+			return nil, fmt.Errorf("tc2d: snapshot %d needs parent %d: %w",
+				chain[0].AppliedSeq, chain[0].ParentSeq, err)
+		}
+		if parent.Ranks != m.Ranks || parent.SUMMA != m.SUMMA || parent.Enum != m.Enum {
+			return nil, fmt.Errorf("tc2d: snapshot %d and its parent %d disagree on the world shape: %w",
+				chain[0].AppliedSeq, parent.AppliedSeq, ErrSnapshotCorrupt)
+		}
+		chain = append([]*snapshot.Manifest{parent}, chain...)
+	}
+	return chain, nil
+}
+
+// openFromChain restores from one validated chain (base manifest first,
+// deltas in application order, the terminal last): every rank decodes its
+// base blob and applies each delta blob on top in parallel, the WAL tail
+// beyond the terminal replays, and a serving cluster comes back.
+func openFromChain(dir string, chain []*snapshot.Manifest, opt Options, frac, snapFrac, incFrac float64) (*Cluster, error) {
+	m := chain[len(chain)-1] // the terminal carries the cluster-level totals
 	if opt.Ranks != 0 && opt.Ranks != m.Ranks {
 		return nil, fmt.Errorf("tc2d: snapshot was taken on %d ranks, Options.Ranks=%d", m.Ranks, opt.Ranks)
 	}
@@ -529,7 +689,7 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 	}
 	prep := make([]*core.Prepared, m.Ranks)
 	_, err = world.Run(func(c *mpi.Comm) (any, error) {
-		blob, err := snapshot.ReadRank(dir, m, c.Rank())
+		blob, err := snapshot.ReadRank(dir, chain[0], c.Rank())
 		if err != nil {
 			return nil, err
 		}
@@ -539,6 +699,20 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 		if derr != nil {
 			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, derr)
 		}
+		for _, dm := range chain[1:] {
+			dblob, err := snapshot.ReadRank(dir, dm, c.Rank())
+			if err != nil {
+				return nil, err
+			}
+			var aerr error
+			c.Compute(func() { aerr = core.ApplyPreparedDelta(pr, dblob, c.Rank(), m.Ranks) })
+			if aerr != nil {
+				return nil, fmt.Errorf("%w: applying delta snapshot %d: %v", ErrSnapshotCorrupt, dm.AppliedSeq, aerr)
+			}
+		}
+		// Track dirtiness from the restored state on, so the next snapshot
+		// can continue the chain as a delta.
+		pr.EnableSnapshotTracking()
 		pr.SetKernelConfig(kthreads, opt.NoAdaptiveIntersect)
 		prep[c.Rank()] = pr
 		return nil, nil
@@ -549,20 +723,21 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 	}
 
 	cl := &Cluster{
-		world:           world,
-		prep:            prep,
-		enum:            Enumeration(m.Enum),
-		ranks:           m.Ranks,
-		transport:       opt.Transport,
-		sched:           newScheduler(),
-		rebuildFraction: frac,
-		autoRebuild:     !opt.DisableAutoRebuild,
-		maxVertices:     opt.MaxVertices,
-		baseM:           m.BaseM,
-		appliedEdges:    m.AppliedEdges,
-		kernelThreads:   kthreads,
-		noAdaptive:      opt.NoAdaptiveIntersect,
-		metrics:         newClusterMetrics(opt.Metrics),
+		world:               world,
+		prep:                prep,
+		enum:                Enumeration(m.Enum),
+		ranks:               m.Ranks,
+		transport:           opt.Transport,
+		sched:               newScheduler(),
+		rebuildFraction:     frac,
+		incrementalFraction: incFrac,
+		autoRebuild:         !opt.DisableAutoRebuild,
+		maxVertices:         opt.MaxVertices,
+		baseM:               m.BaseM,
+		appliedEdges:        m.AppliedEdges,
+		kernelThreads:       kthreads,
+		noAdaptive:          opt.NoAdaptiveIntersect,
+		metrics:             newClusterMetrics(opt.Metrics),
 	}
 	cl.lastTri.Store(m.Triangles)
 
@@ -610,15 +785,23 @@ func openFromManifest(dir string, m *snapshot.Manifest, opt Options, frac, snapF
 	cl.syncGraphMetrics()
 	restoredInfo := infoFromManifest(dir, m)
 	cl.persist = &persister{
-		dir:      dir,
-		snapFrac: snapFrac,
-		autoSnap: !opt.DisableAutoSnapshot,
-		wal:      wal,
-		seq:      last,
-		snapSeq:  m.AppliedSeq,
-		walEdges: walEdges,
-		replayed: replayed,
-		lastInfo: &restoredInfo,
+		dir:       dir,
+		snapFrac:  snapFrac,
+		autoSnap:  !opt.DisableAutoSnapshot,
+		deltaSnap: !opt.DisableDeltaSnapshot,
+		wal:       wal,
+		seq:       last,
+		snapSeq:   m.AppliedSeq,
+		walEdges:  walEdges,
+		replayed:  replayed,
+		lastInfo:  &restoredInfo,
+		// Resume the compaction policy where the previous process left off:
+		// the chain's base, its current length, and the churn accumulated
+		// since the base — including what the WAL replay just re-applied.
+		baseSeq:   chain[0].AppliedSeq,
+		haveBase:  true,
+		chainLen:  len(chain) - 1,
+		churnBase: m.ChurnSinceBase + walEdges,
 	}
 	go cl.writeLoop()
 	return cl, nil

@@ -137,16 +137,23 @@ func (cl *Cluster) RemoveVertices(ids []int32) (*UpdateResult, error) {
 	return cl.enqueueWrite(batch)
 }
 
-// Rebuild re-runs the preprocessing pipeline over the current resident
-// graph inside the same world and epoch machinery: fresh degree ordering,
-// fresh 2D blocks, same grid schedule and transport, and an update-routing
-// map composed back into original-vertex space. Counts are unchanged —
-// only the layout is refreshed, and the overflow region of vertices added
-// since the last build is folded into the clean cyclic layout (BaseN == N
-// again). The write scheduler triggers this automatically once applied
-// updates or overflow growth exceed Options.RebuildFraction (unless
-// Options.DisableAutoRebuild is set); Rebuild forces it, waiting out
-// in-flight queries and write epochs first.
+// Rebuild refreshes the resident layout inside the same world and epoch
+// machinery. When the degree-dirty set — the labels whose degree changed
+// since the last build — is within Options.IncrementalRebuildFraction of
+// the vertex count, the rebuild runs incrementally: only that set is
+// re-sorted (permuted among its own label slots), only its moved rows are
+// spliced between blocks, and the retained relabel permutation is reused
+// for every untouched vertex, so the cost is proportional to churn rather
+// than graph size. Larger churn (or Options.DisableIncrementalRebuild)
+// runs the full preprocessing pipeline: fresh degree ordering, fresh 2D
+// blocks, same grid schedule and transport, and an update-routing map
+// composed back into original-vertex space. Either way counts are
+// unchanged — only the layout is refreshed — and the overflow region of
+// vertices added since the last build is folded into the clean cyclic
+// layout (BaseN == N again). The write scheduler triggers this
+// automatically once applied updates or overflow growth exceed
+// Options.RebuildFraction (unless Options.DisableAutoRebuild is set);
+// Rebuild forces it, waiting out in-flight queries and write epochs first.
 func (cl *Cluster) Rebuild() error {
 	cl.sched.gate.Lock()
 	defer cl.sched.gate.Unlock()
@@ -156,9 +163,50 @@ func (cl *Cluster) Rebuild() error {
 	return cl.rebuildLocked()
 }
 
-// rebuildLocked swaps the resident state for a freshly prepared one.
-// sched.gate is held exclusively.
+// rebuildLocked refreshes the resident layout, choosing the incremental
+// pass when the degree-dirty set is small enough and the full pipeline
+// otherwise. sched.gate is held exclusively.
 func (cl *Cluster) rebuildLocked() error {
+	prep := cl.prep
+	if cl.incrementalFraction > 0 &&
+		float64(prep[0].DegreeDirtyCount()) <= cl.incrementalFraction*float64(prep[0].N()) {
+		return cl.rebuildIncrementalLocked()
+	}
+	return cl.rebuildFullLocked()
+}
+
+// rebuildIncrementalLocked re-sorts only the degree-dirty labels, mutating
+// the resident state in place. sched.gate is held exclusively.
+func (cl *Cluster) rebuildIncrementalLocked() error {
+	prep := cl.prep
+	stats := make([]*delta.RebuildStats, cl.ranks)
+	_, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
+		st, err := delta.RebuildIncremental(c, prep[c.Rank()])
+		if err != nil {
+			return nil, err
+		}
+		stats[c.Rank()] = st
+		return nil, nil
+	})
+	if err != nil {
+		return err
+	}
+	cl.appliedEdges = 0
+	cl.baseM = prep[0].M()
+	cl.rebuilds.Add(1)
+	cl.incRebuilds.Add(1)
+	// Saved ops versus the last full pipeline run over this graph; the
+	// baseline is 0 (no claimed saving) on a restored cluster until a full
+	// rebuild re-establishes it.
+	saved := cl.fullPreOps - stats[0].Ops
+	cl.metrics.observeRebuild("incremental", saved, stats[0].Moved)
+	cl.syncGraphMetrics()
+	return nil
+}
+
+// rebuildFullLocked swaps the resident state for a freshly prepared one.
+// sched.gate is held exclusively.
+func (cl *Cluster) rebuildFullLocked() error {
 	prep := cl.prep
 	newPrep := make([]*core.Prepared, cl.ranks)
 	_, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
@@ -175,8 +223,18 @@ func (cl *Cluster) rebuildLocked() error {
 	cl.prep = newPrep
 	cl.appliedEdges = 0
 	cl.baseM = newPrep[0].M()
+	cl.fullPreOps = newPrep[0].PreOps()
 	cl.rebuilds.Add(1)
-	cl.metrics.rebuilds.Inc()
+	cl.metrics.observeRebuild("full", 0, 0)
+	// The replacement state shares nothing with what any snapshot captured:
+	// delta snapshots cannot express the swap, so the next snapshot must be
+	// a fresh base — and the new state needs its own dirty tracking.
+	if cl.persist != nil {
+		for _, pr := range newPrep {
+			pr.EnableSnapshotTracking()
+		}
+		cl.persist.noteFullRebuild()
+	}
 	cl.syncGraphMetrics()
 	return nil
 }
