@@ -166,10 +166,14 @@ type Cluster struct {
 	// path's delta passes read the same config off each Prepared value.
 	kernelThreads int
 	noAdaptive    bool
-	lastTri       atomic.Int64 // maintained triangle count, -1 until first query
-	closed        atomic.Bool
-	closeOnce     sync.Once
-	closeErr      error
+	// readOnly marks a follower's cluster: the public write path rejects
+	// with ErrFollowerReadOnly, and only the replication apply loop mutates
+	// the resident state (under the exclusive gate, like any write).
+	readOnly  bool
+	lastTri   atomic.Int64 // maintained triangle count, -1 until first query
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
 
 	// Write-path staleness state, touched only with sched.gate held
 	// exclusively. rebuildFraction, incrementalFraction, autoRebuild and

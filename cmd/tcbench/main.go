@@ -28,10 +28,16 @@
 // batches (a fraction of the edge count, half deletes/half inserts) under
 // {incremental, full} rebuild × {delta, base} snapshot, reporting how many
 // preprocessing ops the incremental rebuild and how many bytes the delta
-// snapshot save over the boot-time full build and base snapshot. All five
-// always run when -json is given; their rows land in the update_runs,
-// concurrent_runs, growth_runs, kernel_runs and maintenance_runs sections
-// (schema v7). Every measured scenario also self-observes the benchmark
+// snapshot save over the boot-time full build and base snapshot. "replica"
+// is the WAL-shipping read-replica scenario: a durable primary under one
+// writer's update stream with a schedule of follower counts bootstrapping
+// from its snapshots and tailing its WAL over loopback HTTP, reporting
+// aggregate follower read QPS against the primary-only baseline, the
+// primary's (flat) write throughput, sampled replication lag, convergence
+// time and bootstrap-vs-WAL shipped bytes. All six always run when -json
+// is given; their rows land in the update_runs, concurrent_runs,
+// growth_runs, kernel_runs, maintenance_runs and replica_runs sections
+// (schema v8). Every measured scenario also self-observes the benchmark
 // process — peak heap, allocation volume, GC cycles/pauses, and (for the
 // concurrent and maintenance scenarios' resident clusters) the
 // metric-registry delta — into the JSON document's runtime section.
@@ -82,6 +88,14 @@ func main() {
 
 		mRanks = flag.Int("maint-ranks", 4, "rank count for the maintenance scenario")
 		mChurn = flag.String("maint-churn", "0.01,0.05,0.2", "comma-separated churn fractions for the maintenance scenario")
+
+		rRanks     = flag.Int("replica-ranks", 4, "rank count for the replica scenario")
+		rFollowers = flag.String("replica-followers", "0,1,2", "follower-count schedule for the replica scenario (0 = primary-only baseline)")
+		rBatch     = flag.Int("replica-batch", 128, "edge updates per write batch in the replica scenario")
+		rReaders   = flag.Int("replica-readers", 2, "readers per serving endpoint in the replica scenario")
+		rQueries   = flag.Int("replica-queries", 20, "queries per reader in the replica scenario")
+		rRate      = flag.Float64("replica-write-rate", 8, "paced writer batches per second in the replica scenario")
+		rReadRate  = flag.Float64("replica-read-rate", 8, "paced queries per second per reader in the replica scenario")
 	)
 	flag.Parse()
 
@@ -236,13 +250,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The replica scenario feeds the "replica" table and the -json record:
+	// a durable primary under one writer's stream with a schedule of
+	// WAL-shipping follower counts serving the read workload, reporting
+	// aggregate read QPS, primary write throughput, sampled replication lag
+	// and the bootstrap-vs-WAL shipping volumes. The primary publishes into
+	// one shared registry, so the runtime record carries the shipping and
+	// apply metric deltas.
+	var replRows []harness.ReplicaRow
+	if sel("replica") || *jsonTo != "" {
+		fcounts := parseInts(*rFollowers)
+		if *detail {
+			fmt.Fprintf(os.Stderr, "tcbench: running replica scenario (ranks %d, followers %v)...\n", *rRanks, fcounts)
+		}
+		reg := obs.NewRegistry()
+		so := harness.StartRuntimeObs(reg)
+		var err error
+		replRows, err = harness.RunReplica(specs[0], *rRanks, *rBatch, *rReaders, *rQueries, *rRate, *rReadRate, fcounts, reg)
+		runtimeStats = append(runtimeStats, so.Stop("replica"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: replica scenario: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonTo != "" {
 		f, err := os.Create(*jsonTo)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, growthRows, kernelRows, maintRows, runtimeStats, cfg); err != nil {
+		if err := harness.WriteBenchJSON(f, rows, updRows, concRows, growthRows, kernelRows, maintRows, replRows, runtimeStats, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "tcbench: write json: %v\n", err)
 			os.Exit(1)
 		}
@@ -251,11 +288,12 @@ func main() {
 			os.Exit(1)
 		}
 		if *detail {
-			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update + %d concurrent + %d growth + %d kernel + %d maintenance runs to %s\n",
-				len(rows), len(updRows), len(concRows), len(growthRows), len(kernelRows), len(maintRows), *jsonTo)
+			fmt.Fprintf(os.Stderr, "tcbench: wrote %d scaling + %d update + %d concurrent + %d growth + %d kernel + %d maintenance + %d replica runs to %s\n",
+				len(rows), len(updRows), len(concRows), len(growthRows), len(kernelRows), len(maintRows), len(replRows), *jsonTo)
 		}
 	}
 	step("updates", func() error { return harness.TableUpdates(w, updRows) })
+	step("replica", func() error { return harness.TableReplica(w, replRows) })
 	step("kernel", func() error { return harness.TableKernel(w, kernelRows) })
 	step("concurrent", func() error { return harness.TableConcurrent(w, concRows) })
 	step("growth", func() error { return harness.TableGrowth(w, growthRows) })

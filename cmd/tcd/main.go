@@ -36,6 +36,19 @@
 //	tcd -rmat 12 -max-concurrent-queries 32     # bound admitted reads
 //	tcd -rmat 12 -persist-dir /var/lib/tcd      # durable: restores on boot
 //	tcd -rmat 12 -pprof -slow-query 250ms       # profiling + slow-query log
+//	tcd -follow http://primary:7171 -addr :7172 # read replica of a primary
+//
+// A durable tcd (one with -persist-dir) is a replication primary: it
+// serves its snapshot chain and WAL under /repl/, and any number of
+// followers started with -follow bootstrap from the newest snapshot and
+// tail the WAL as CRC-framed batches — scaling read QPS horizontally
+// while all writes keep going through the one primary. Followers serve
+// /count and /transitivity with an optional per-request staleness bound
+// (max_lag_seq=N caps committed-but-unapplied batches, max_lag_ms=T caps
+// wall-clock staleness; violations answer 503 + Retry-After), answer
+// writes with 421 + the primary's URL, report "catching_up" on /healthz
+// until converged, and survive primary restarts and snapshot compaction
+// (re-bootstrapping without dropping in-flight reads).
 //
 // Endpoints:
 //
@@ -111,6 +124,7 @@ func main() {
 		maxQ     = flag.Int("max-concurrent-queries", 0, "cap on concurrently admitted read queries (0 = unlimited)")
 		maxV     = flag.Int64("max-vertices", 1<<26, "cap on the elastic vertex space (0 = unbounded)")
 		pdir     = flag.String("persist-dir", "", "durability directory: snapshot/WAL on write, restore on boot (empty = not durable)")
+		follow   = flag.String("follow", "", "run as a read-only replica of the primary tcd at this URL (bootstraps from its snapshots, tails its WAL)")
 		noSync   = flag.Bool("no-wal-sync", false, "skip the per-commit WAL fsync (crash-safe but not power-loss-safe)")
 		kthr     = flag.Int("kernel-threads", 0, "intra-rank kernel workers per rank (0 = min(GOMAXPROCS, NumCPU))")
 		usePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -128,22 +142,65 @@ func main() {
 	}
 
 	start := time.Now()
-	cluster, desc, err := openOrBuildCluster(*pdir, *path, *preset, *scale, *ef, *seed, opt)
+	var (
+		cluster  *tc2d.Cluster
+		follower *tc2d.Follower
+		desc     string
+		err      error
+	)
+	if *follow != "" {
+		// Follower mode: the resident state is a replica of the primary's —
+		// bootstrapped from its snapshot chain, kept current by tailing its
+		// WAL. Local durability is the primary's job.
+		if *pdir != "" {
+			logger.Error("startup failed", "err", errors.New("-follow and -persist-dir are mutually exclusive: a follower's durable state is the primary's"))
+			os.Exit(1)
+		}
+		follower, err = tc2d.OpenFollower(*follow, opt)
+		if err == nil {
+			cluster = follower.Cluster()
+			desc = "follower of " + *follow
+		}
+	} else {
+		cluster, desc, err = openOrBuildCluster(*pdir, *path, *preset, *scale, *ef, *seed, opt)
+	}
 	if err != nil {
 		logger.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
-	defer cluster.Close()
+	closeAll := func() error {
+		if follower != nil {
+			return follower.Close()
+		}
+		return cluster.Close()
+	}
+	defer closeAll()
 	info := cluster.Info()
+	role := "primary"
+	if follower != nil {
+		role = "follower"
+	}
 	logger.Info("resident cluster up",
 		"boot", time.Since(start).Round(time.Millisecond).String(),
-		"source", desc, "n", info.N, "m", info.M,
+		"source", desc, "n", info.N, "m", info.M, "role", role,
 		"ranks", info.Ranks, "transport", info.Transport.String())
 
 	s := newServer(cluster, desc, start, *maxQ)
 	s.log = logger
 	s.slowQuery = *slowQ
 	s.pprof = *usePprof
+	s.follower = follower
+	s.primary = *follow
+	if follower == nil && info.Persist.Enabled {
+		// A durable primary serves the replication surface: followers
+		// bootstrap from /repl/snapshot/... and tail /repl/wal.
+		rh, rerr := cluster.ReplicationHandler()
+		if rerr != nil {
+			logger.Error("startup failed", "err", rerr)
+			os.Exit(1)
+		}
+		s.repl = rh
+	}
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 	go func() {
 		logger.Info("serving", "addr", *addr, "pprof", *usePprof)
@@ -173,7 +230,7 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Warn("drain incomplete", "err", err)
 	}
-	if err := cluster.Close(); err != nil {
+	if err := closeAll(); err != nil {
 		logger.Warn("cluster close", "err", err)
 	}
 }
@@ -254,6 +311,10 @@ type server struct {
 	errors   atomic.Int64
 	draining atomic.Bool
 
+	follower *tc2d.Follower // non-nil in -follow mode: bounded reads, no writes
+	primary  string         // the -follow URL, echoed on write redirects
+	repl     http.Handler   // non-nil on a durable primary: the /repl/ surface
+
 	log       *slog.Logger
 	slowQuery time.Duration // warn-log requests at/over this; 0 = off
 	pprof     bool
@@ -301,6 +362,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.repl != nil {
+		mux.Handle("GET /repl/", s.repl)
+	}
 	if s.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -365,6 +429,29 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	// A follower distinguishes catch-up from ready: until it has observed
+	// itself fully caught up since its last bootstrap it answers 503 with
+	// status "catching_up", so readiness probes keep it out of rotation
+	// while it replays — distinctly from "draining" (shutdown) and "ok".
+	if s.follower != nil {
+		info := s.follower.Info()
+		body := map[string]any{
+			"status":      "ok",
+			"role":        "follower",
+			"state":       info.State,
+			"applied_seq": info.AppliedSeq,
+			"primary_seq": info.PrimarySeq,
+			"lag_seq":     info.LagSeq,
+		}
+		if info.State != "ready" {
+			body["status"] = "catching_up"
+			w.Header().Set("Retry-After", "1")
+			s.writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, body)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -425,12 +512,27 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 		tr  *obs.Trace
 		err error
 	)
-	if boolParam(r, "trace") {
+	if s.follower != nil {
+		bound, berr := readBound(r)
+		if berr != nil {
+			s.errors.Add(1)
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": berr.Error()})
+			return
+		}
+		if boolParam(r, "trace") {
+			res, tr, err = s.follower.CountTraced(q, bound)
+		} else {
+			res, err = s.follower.Count(q, bound)
+		}
+	} else if boolParam(r, "trace") {
 		res, tr, err = s.cluster.CountTraced(q)
 	} else {
 		res, err = s.cluster.Count(q)
 	}
 	if err != nil {
+		if s.staleRead(w, err) {
+			return
+		}
 		s.fail(w, err)
 		return
 	}
@@ -463,8 +565,61 @@ type updateRequest struct {
 	} `json:"updates"`
 }
 
+// misdirectWrite answers a write sent to a follower: 421 Misdirected
+// Request with the primary's URL, so clients re-aim instead of retrying.
+func (s *server) misdirectWrite(w http.ResponseWriter, path string) {
+	s.errors.Add(1)
+	w.Header().Set("Location", s.primary+path)
+	s.writeJSON(w, http.StatusMisdirectedRequest, map[string]string{
+		"error":   "this tcd is a read-only follower: apply writes at the primary",
+		"primary": s.primary,
+	})
+}
+
+// readBound parses the per-request staleness bound of a follower read:
+// max_lag_seq caps committed-but-unapplied batches (0 = exactly caught
+// up), max_lag_ms caps wall-clock staleness. Absent params = unbounded.
+func readBound(r *http.Request) (tc2d.ReadBound, error) {
+	b := tc2d.Unbounded
+	if v := r.URL.Query().Get("max_lag_seq"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return b, fmt.Errorf("max_lag_seq=%q must be a non-negative integer", v)
+		}
+		b.MaxLagSeq = n
+	}
+	if v := r.URL.Query().Get("max_lag_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms <= 0 {
+			return b, fmt.Errorf("max_lag_ms=%q must be a positive number", v)
+		}
+		b.MaxLag = time.Duration(ms * float64(time.Millisecond))
+	}
+	return b, nil
+}
+
+// staleRead maps ErrStaleRead to 503 + Retry-After: the read was refused
+// because the follower could not prove itself within the requested bound —
+// the client should retry here shortly or relax the bound.
+func (s *server) staleRead(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, tc2d.ErrStaleRead) {
+		return false
+	}
+	s.errors.Add(1)
+	w.Header().Set("Retry-After", "1")
+	s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		"error": err.Error(),
+		"code":  "stale_read",
+	})
+	return true
+}
+
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.follower != nil {
+		s.misdirectWrite(w, "/update")
+		return
+	}
 	// Once shutdown has begun, the write queue stops accepting: answer 503
 	// with Retry-After so well-behaved writers resubmit elsewhere, while
 	// updates accepted before the drain keep committing.
@@ -551,6 +706,10 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.follower != nil {
+		s.misdirectWrite(w, "/snapshot")
+		return
+	}
 	t0 := time.Now()
 	var (
 		info *tc2d.SnapshotInfo
@@ -591,8 +750,25 @@ func (s *server) handleTransitivity(w http.ResponseWriter, r *http.Request) {
 	release := s.admitQuery()
 	defer release()
 	t0 := time.Now()
-	tr, err := s.cluster.Transitivity()
+	var (
+		tr  float64
+		err error
+	)
+	if s.follower != nil {
+		bound, berr := readBound(r)
+		if berr != nil {
+			s.errors.Add(1)
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": berr.Error()})
+			return
+		}
+		tr, err = s.follower.Transitivity(bound)
+	} else {
+		tr, err = s.cluster.Transitivity()
+	}
 	if err != nil {
+		if s.staleRead(w, err) {
+			return
+		}
 		s.fail(w, err)
 		return
 	}
@@ -607,7 +783,28 @@ func (s *server) handleTransitivity(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	info := s.cluster.Info()
+	repl := map[string]any{"role": "primary", "serving": s.repl != nil}
+	if s.follower != nil {
+		fi := s.follower.Info()
+		repl = map[string]any{
+			"role":            "follower",
+			"primary":         fi.PrimaryURL,
+			"state":           fi.State,
+			"applied_seq":     fi.AppliedSeq,
+			"primary_seq":     fi.PrimarySeq,
+			"lag_seq":         fi.LagSeq,
+			"caught_up":       fi.CaughtUp,
+			"lag_ms":          fi.LagMS,
+			"bootstraps":      fi.Bootstraps,
+			"bootstrap_bytes": fi.BootstrapBytes,
+			"applied_batches": fi.AppliedBatches,
+			"wal_bytes":       fi.ReceivedBytes,
+			"frames":          fi.Frames,
+			"last_error":      fi.LastError,
+		}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
+		"replication": repl,
 		"graph": map[string]any{
 			"source":            s.desc,
 			"n":                 info.N,

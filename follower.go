@@ -1,0 +1,630 @@
+package tc2d
+
+// WAL-shipping read replicas. A primary is any durable Cluster whose
+// ReplicationHandler is mounted on an HTTP server: followers bootstrap from
+// its snapshot chain (base + deltas, exactly what OpenCluster composes from
+// disk), then tail its WAL as aggregated CRC-framed record batches and
+// apply them through the ordinary delta write path. N followers multiply
+// read QPS by ~N while the single writer's throughput stays flat — the
+// primary's write path gains only an O(1) commit-wake broadcast.
+//
+// Staleness is explicit: every applied frame carries the primary's
+// committed sequence, so a follower always knows its lag in batches
+// (LagSeq) and the wall-clock instant it was last provably caught up.
+// Reads can demand a bound (ReadBound) and get ErrStaleRead instead of
+// stale data when the follower cannot honor it.
+//
+// Failure modes, all handled without dropping in-flight reads:
+//   - primary restart / network partition — the apply loop retries with
+//     backoff and resumes from AppliedSeq (the stream is idempotent only in
+//     the trivial sense: records are applied exactly once, continuity is
+//     enforced by sequence numbers);
+//   - retention pruned the follower's position (long partition) — the
+//     primary answers 410 Gone and the follower re-bootstraps from the
+//     newest snapshot chain;
+//   - a sequence gap or a primary whose committed sequence regressed
+//     (restore from an older snapshot after losing its disk) — the follower
+//     discards its state and re-bootstraps rather than diverge.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tc2d/internal/delta"
+	"tc2d/internal/mpi"
+	"tc2d/internal/obs"
+	"tc2d/internal/repl"
+	"tc2d/internal/snapshot"
+)
+
+// ErrFollowerReadOnly is returned by the write path (ApplyUpdates,
+// AddVertices, RemoveVertices) of a follower's cluster: writes belong at
+// the primary. The tcd daemon maps it to 421 Misdirected Request with the
+// primary's URL.
+var ErrFollowerReadOnly = errors.New("tc2d: follower is read-only — apply writes at the primary")
+
+// ErrStaleRead is returned by bounded follower reads when the follower
+// cannot prove it is within the requested staleness bound. Test with
+// errors.Is; tcd maps it to 503 + Retry-After.
+var ErrStaleRead = errors.New("tc2d: follower lag exceeds the requested staleness bound")
+
+// ReplicationHandler returns the primary-side replication surface of a
+// durable cluster, ready to mount on an HTTP server (tcd mounts it at
+// /repl/). It serves the WAL as framed record batches (long-polling the
+// commit wake) and the snapshot chain for follower bootstrap; see
+// internal/repl for the endpoints.
+func (cl *Cluster) ReplicationHandler() (http.Handler, error) {
+	if cl.persist == nil {
+		return nil, errNotDurable
+	}
+	cl.metrics.setRole("primary")
+	srv := repl.NewServer(cl)
+	if m := cl.metrics; m != nil && m.reg != nil {
+		srv.OnWALShip = func(records, bytes int) {
+			m.replShippedFrames.Inc()
+			m.replShippedRecords.Add(float64(records))
+			m.replShippedBytes.Add(float64(bytes))
+		}
+		srv.OnSnapShip = func(bytes int) {
+			m.replSnapShipBytes.Add(float64(bytes))
+		}
+	}
+	return srv, nil
+}
+
+// ReadBound is the staleness bound of one follower read.
+type ReadBound struct {
+	// MaxLagSeq caps the committed-but-unapplied batch count; 0 demands a
+	// fully caught-up follower, negative values disable the bound.
+	MaxLagSeq int64
+	// MaxLag caps wall-clock staleness: the read fails unless the follower
+	// observed itself fully caught up within the last MaxLag. 0 or negative
+	// disables the bound.
+	MaxLag time.Duration
+}
+
+// Unbounded reads accept any staleness.
+var Unbounded = ReadBound{MaxLagSeq: -1}
+
+// FollowerInfo is a snapshot of a follower's replication state.
+type FollowerInfo struct {
+	PrimaryURL string
+	// State is "catching_up" until the follower first observes itself fully
+	// caught up after its latest bootstrap, then "ready".
+	State string
+	// AppliedSeq is the last WAL sequence applied locally; PrimarySeq the
+	// primary's committed sequence as of the last fetched frame; LagSeq
+	// their difference.
+	AppliedSeq uint64
+	PrimarySeq uint64
+	LagSeq     uint64
+	// CaughtUp reports LagSeq == 0 with at least one caught-up observation.
+	CaughtUp bool
+	// LagMS is the wall-clock milliseconds since the follower last observed
+	// itself fully caught up (-1 before the first observation).
+	LagMS float64
+	// Bootstraps counts snapshot bootstraps (the initial one included);
+	// BootstrapBytes the snapshot blob bytes they fetched. AppliedBatches
+	// and ReceivedBytes/Frames describe the WAL stream.
+	Bootstraps     int64
+	BootstrapBytes int64
+	AppliedBatches int64
+	ReceivedBytes  int64
+	Frames         int64
+	// LastError is the most recent apply-loop error ("" when healthy);
+	// transient by design — the loop retries.
+	LastError string
+	// Cluster is the local resident cluster's info.
+	Cluster ClusterInfo
+}
+
+// Follower is a read-only replica of a primary cluster. Reads (Count,
+// Transitivity) serve from the local resident state under an optional
+// staleness bound; the embedded apply loop tails the primary's WAL and
+// keeps that state converging. Writes are rejected with
+// ErrFollowerReadOnly. The caller must Close the follower.
+type Follower struct {
+	cl      *Cluster
+	client  *repl.Client
+	primary string
+
+	appliedSeq atomic.Uint64
+	primarySeq atomic.Uint64
+	caughtUpAt atomic.Int64 // unix nanos of the last caught-up observation; 0 = never
+	bootstraps atomic.Int64
+	applied    atomic.Int64
+	lastErr    atomic.Value // string
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Follower tuning: the long-poll window of a caught-up follower, the
+// per-frame payload cap, and the retry backoff bounds of the apply loop.
+const (
+	followPollWait   = 5 * time.Second
+	followMaxBytes   = 4 << 20
+	followBackoffMin = 100 * time.Millisecond
+	followBackoffMax = 3 * time.Second
+)
+
+// OpenFollower opens a read-only replica of the primary at primaryURL
+// (which must serve ReplicationHandler, as tcd does): the newest snapshot
+// chain is fetched and composed exactly as OpenCluster composes it from
+// disk — no preprocessing re-runs, PreOps == 0 — and the apply loop starts
+// tailing the WAL. The world shape (ranks, grid schedule, enumeration)
+// comes from the primary's manifest; opt supplies transport, kernel and
+// rebuild policy. opt.PersistDir must be unset: a follower's durable state
+// IS the primary's, re-fetchable at any time.
+func OpenFollower(primaryURL string, opt Options) (*Follower, error) {
+	if opt.PersistDir != "" {
+		return nil, fmt.Errorf("tc2d: followers do not persist locally — unset PersistDir (the primary's chain is the durable state)")
+	}
+	frac, err := opt.rebuildFraction()
+	if err != nil {
+		return nil, err
+	}
+	incFrac, err := opt.incrementalRebuildFraction()
+	if err != nil {
+		return nil, err
+	}
+	if opt.DisableIncrementalRebuild {
+		incFrac = 0
+	}
+	kthreads, err := opt.kernelThreads()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
+	}
+
+	client := repl.NewClient(primaryURL)
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Follower{client: client, primary: primaryURL, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+	f.lastErr.Store("")
+
+	chain, blobs, err := f.fetchChain(ctx)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("tc2d: follower bootstrap from %s: %w", primaryURL, err)
+	}
+	m := chain[len(chain)-1]
+	if opt.Ranks != 0 && opt.Ranks != m.Ranks {
+		cancel()
+		return nil, fmt.Errorf("tc2d: primary runs %d ranks, Options.Ranks=%d", m.Ranks, opt.Ranks)
+	}
+	if opt.Enumeration != 0 && int(opt.Enumeration) != m.Enum {
+		cancel()
+		return nil, fmt.Errorf("tc2d: primary enumerates %v, Options ask for %v", Enumeration(m.Enum), opt.Enumeration)
+	}
+	world, err := opt.newWorld(m.Ranks)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	prep, err := decodeChain(world, chain, blobs.fetch, kthreads, opt.NoAdaptiveIntersect, false)
+	if err != nil {
+		world.Close()
+		cancel()
+		return nil, fmt.Errorf("tc2d: follower bootstrap from %s: %w", primaryURL, err)
+	}
+
+	cl := &Cluster{
+		world:               world,
+		prep:                prep,
+		enum:                Enumeration(m.Enum),
+		ranks:               m.Ranks,
+		transport:           opt.Transport,
+		sched:               newScheduler(),
+		rebuildFraction:     frac,
+		incrementalFraction: incFrac,
+		autoRebuild:         !opt.DisableAutoRebuild,
+		maxVertices:         opt.MaxVertices,
+		baseM:               m.BaseM,
+		appliedEdges:        m.AppliedEdges,
+		kernelThreads:       kthreads,
+		noAdaptive:          opt.NoAdaptiveIntersect,
+		readOnly:            true,
+		metrics:             newClusterMetrics(opt.Metrics),
+	}
+	cl.lastTri.Store(m.Triangles)
+	cl.metrics.setRole("follower")
+	cl.syncGraphMetrics()
+	go cl.writeLoop()
+
+	f.cl = cl
+	f.appliedSeq.Store(m.AppliedSeq)
+	f.primarySeq.Store(m.AppliedSeq)
+	f.noteBootstrap(m.AppliedSeq)
+	go f.applyLoop()
+	return f, nil
+}
+
+// chainBlobs is the prefetched blob set of one bootstrap: every chain
+// member's per-rank payloads, fetched (and CRC-verified) before any
+// resident state is touched, keyed by the manifest's sequence.
+type chainBlobs map[uint64][][]byte
+
+func (b chainBlobs) fetch(m *snapshot.Manifest, rank int) ([]byte, error) {
+	blobs, ok := b[m.AppliedSeq]
+	if !ok || rank < 0 || rank >= len(blobs) {
+		return nil, fmt.Errorf("tc2d: bootstrap blob for snapshot %d rank %d was not prefetched", m.AppliedSeq, rank)
+	}
+	return blobs[rank], nil
+}
+
+// fetchChain resolves the primary's newest snapshot chain and prefetches
+// every rank blob into memory. Nothing of the local state is touched: a
+// fetch failure (or a chain pruned mid-walk) leaves the follower serving
+// what it has.
+func (f *Follower) fetchChain(ctx context.Context) ([]*snapshot.Manifest, chainBlobs, error) {
+	newest, ok, err := f.client.NewestSnapshot(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("primary has published no snapshot yet")
+	}
+	term, err := f.client.Manifest(ctx, newest)
+	if err != nil {
+		return nil, nil, err
+	}
+	chain := []*snapshot.Manifest{term}
+	for chain[0].IsDelta() {
+		if len(chain) > snapshotChainLimit+1 {
+			return nil, nil, fmt.Errorf("snapshot %d has a delta chain longer than %d: %w",
+				term.AppliedSeq, snapshotChainLimit, ErrSnapshotCorrupt)
+		}
+		parent, err := f.client.Manifest(ctx, chain[0].ParentSeq)
+		if err != nil {
+			return nil, nil, err
+		}
+		if parent.Ranks != term.Ranks || parent.SUMMA != term.SUMMA || parent.Enum != term.Enum {
+			return nil, nil, fmt.Errorf("snapshot %d and its parent %d disagree on the world shape: %w",
+				chain[0].AppliedSeq, parent.AppliedSeq, ErrSnapshotCorrupt)
+		}
+		chain = append([]*snapshot.Manifest{parent}, chain...)
+	}
+	blobs := make(chainBlobs, len(chain))
+	for _, m := range chain {
+		per := make([][]byte, m.Ranks)
+		for r := 0; r < m.Ranks; r++ {
+			blob, err := f.client.RankBlob(ctx, m, r)
+			if err != nil {
+				return nil, nil, err
+			}
+			per[r] = blob
+		}
+		blobs[m.AppliedSeq] = per
+	}
+	return chain, blobs, nil
+}
+
+// noteBootstrap records one completed bootstrap in the counters and resets
+// the caught-up clock: freshly bootstrapped state is not provably current
+// until a frame confirms it.
+func (f *Follower) noteBootstrap(seq uint64) {
+	f.bootstraps.Add(1)
+	f.caughtUpAt.Store(0)
+	if m := f.cl.metrics; m != nil && m.reg != nil {
+		m.replBootstraps.Inc()
+		m.replAppliedSeq.Set(float64(seq))
+	}
+}
+
+// applyLoop is the follower's resident replication goroutine: fetch a
+// frame, apply it, repeat — with backoff on transient errors and a
+// re-bootstrap on ErrGone, sequence gaps, or a regressed primary.
+func (f *Follower) applyLoop() {
+	defer close(f.done)
+	backoff := followBackoffMin
+	for f.ctx.Err() == nil {
+		// Until the first caught-up observation (bootstrap, re-bootstrap)
+		// fetch without waiting: an already-current follower learns so from
+		// the immediate empty frame instead of sitting out one long poll.
+		wait := followPollWait
+		if f.caughtUpAt.Load() == 0 {
+			wait = 0
+		}
+		frame, err := f.client.Frame(f.ctx, f.appliedSeq.Load(), followMaxBytes, wait)
+		if err == nil {
+			err = f.applyFrame(frame)
+			if err == nil {
+				f.lastErr.Store("")
+				backoff = followBackoffMin
+				continue
+			}
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+			// A frame that cannot be applied in sequence means the log and
+			// our state have diverged — fall through to re-bootstrap.
+			err = fmt.Errorf("%w: %v", repl.ErrGone, err)
+		}
+		if f.ctx.Err() != nil {
+			return
+		}
+		if errors.Is(err, repl.ErrGone) {
+			f.lastErr.Store(err.Error())
+			if rerr := f.rebootstrap(); rerr == nil {
+				f.lastErr.Store("")
+				backoff = followBackoffMin
+				continue
+			} else if errors.Is(rerr, ErrClosed) {
+				return
+			} else {
+				f.lastErr.Store(fmt.Sprintf("re-bootstrap: %v", rerr))
+			}
+		} else {
+			f.lastErr.Store(err.Error())
+		}
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > followBackoffMax {
+			backoff = followBackoffMax
+		}
+	}
+}
+
+// applyFrame applies one fetched frame: every record decoded and the whole
+// frame validated against our position BEFORE the gate is taken, then each
+// batch applied as one exclusive write epoch — the same path a primary
+// write takes, so counts stay exact on any layout. An error before the
+// first epoch leaves the resident state untouched.
+func (f *Follower) applyFrame(frame *repl.Frame) error {
+	applied := f.appliedSeq.Load()
+	if frame.Committed < applied {
+		return fmt.Errorf("primary committed seq %d regressed below applied %d (primary lost acked state)", frame.Committed, applied)
+	}
+	f.primarySeq.Store(frame.Committed)
+	f.syncLagMetrics()
+	if len(frame.Records) == 0 {
+		if frame.Committed == applied {
+			f.markCaughtUp()
+		}
+		return nil
+	}
+	if frame.Records[0].Seq != applied+1 {
+		return fmt.Errorf("stream gap: next record is %d, applied is %d", frame.Records[0].Seq, applied)
+	}
+	batches := make([][]delta.Update, len(frame.Records))
+	for i, rec := range frame.Records {
+		batch, err := decodeBatch(rec.Payload)
+		if err != nil {
+			return err
+		}
+		batches[i] = batch
+	}
+
+	cl := f.cl
+	cl.sched.gate.Lock()
+	defer cl.sched.gate.Unlock()
+	if cl.closed.Load() {
+		return ErrClosed
+	}
+	// Delta maintenance needs an exact base count, exactly as the primary's
+	// write path does (the bootstrapped manifest carries -1 when the primary
+	// had not counted before its snapshot).
+	if cl.lastTri.Load() < 0 {
+		if _, err := cl.countEpoch(QueryOptions{}, nil); err != nil {
+			return fmt.Errorf("base count before replicated apply: %w", err)
+		}
+	}
+	for i, batch := range batches {
+		prep := cl.prep
+		results, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
+			return delta.Apply(c, prep[c.Rank()], batch)
+		})
+		if err != nil {
+			return fmt.Errorf("replicated apply of batch %d: %w", frame.Records[i].Seq, err)
+		}
+		res := results[0].(*delta.Result)
+		cl.lastTri.Add(res.DeltaTriangles)
+		cl.appliedEdges += int64(res.Inserted + res.Deleted)
+		cl.updates.Add(1)
+		cl.sched.writeEpochs.Add(1)
+		f.appliedSeq.Store(frame.Records[i].Seq)
+		f.applied.Add(1)
+	}
+	cl.syncGraphMetrics()
+	f.syncLagMetrics()
+	if m := cl.metrics; m != nil && m.reg != nil {
+		m.replBatchesApplied.Add(float64(len(batches)))
+		m.replReceivedBytes.Add(float64(f.client.WALBytes() - int64(m.replReceivedBytes.Value())))
+	}
+	// Staleness: the follower maintains its own layout freshness — at most
+	// one rebuild per frame, under the gate we already hold. A rebuild
+	// failure is not fatal to replication (counts stay exact on the stale
+	// layout); it surfaces through LastError.
+	stale := float64(cl.appliedEdges) > cl.rebuildFraction*float64(cl.baseM)
+	if sp := cl.prep[0].Space(); float64(sp.OverflowN()) > cl.rebuildFraction*float64(sp.BaseN) {
+		stale = true
+	}
+	if cl.autoRebuild && stale {
+		if err := cl.rebuildLocked(); err != nil {
+			f.lastErr.Store(fmt.Sprintf("staleness rebuild: %v", err))
+		}
+	}
+	if f.appliedSeq.Load() == frame.Committed {
+		f.markCaughtUp()
+	}
+	return nil
+}
+
+// rebootstrap discards the follower's position and re-composes the newest
+// snapshot chain from the primary — the catch-up path when the WAL no
+// longer reaches back to AppliedSeq (retention pruning, a primary that
+// lost acked state). The fetch runs without any lock, so in-flight reads
+// keep serving the old state; only the decode-and-swap takes the exclusive
+// gate, exactly like a write epoch.
+func (f *Follower) rebootstrap() error {
+	chain, blobs, err := f.fetchChain(f.ctx)
+	if err != nil {
+		return err
+	}
+	m := chain[len(chain)-1]
+	cl := f.cl
+	cl.sched.gate.Lock()
+	defer cl.sched.gate.Unlock()
+	if cl.closed.Load() {
+		return ErrClosed
+	}
+	if m.Ranks != cl.ranks || Enumeration(m.Enum) != cl.enum {
+		return fmt.Errorf("primary changed world shape (now %d ranks, %v): follower must be restarted",
+			m.Ranks, Enumeration(m.Enum))
+	}
+	if _, _, summa := cl.prep[0].GridShape(); summa != m.SUMMA {
+		return fmt.Errorf("primary changed grid schedule: follower must be restarted")
+	}
+	prep, err := decodeChain(cl.world, chain, blobs.fetch, cl.kernelThreads, cl.noAdaptive, false)
+	if err != nil {
+		return err
+	}
+	cl.prep = prep
+	cl.lastTri.Store(m.Triangles)
+	cl.baseM = m.BaseM
+	cl.appliedEdges = m.AppliedEdges
+	cl.syncGraphMetrics()
+	f.appliedSeq.Store(m.AppliedSeq)
+	if f.primarySeq.Load() < m.AppliedSeq {
+		f.primarySeq.Store(m.AppliedSeq)
+	}
+	f.noteBootstrap(m.AppliedSeq)
+	f.syncLagMetrics()
+	return nil
+}
+
+func (f *Follower) markCaughtUp() {
+	f.caughtUpAt.Store(time.Now().UnixNano())
+	f.syncLagMetrics()
+}
+
+func (f *Follower) syncLagMetrics() {
+	m := f.cl.metrics
+	if m == nil || m.reg == nil {
+		return
+	}
+	applied, primary := f.appliedSeq.Load(), f.primarySeq.Load()
+	m.replAppliedSeq.Set(float64(applied))
+	m.replPrimarySeq.Set(float64(primary))
+	if primary > applied {
+		m.replLagSeq.Set(float64(primary - applied))
+	} else {
+		m.replLagSeq.Set(0)
+	}
+	if d := float64(f.client.SnapshotBytes()) - m.replBootstrapBytes.Value(); d > 0 {
+		m.replBootstrapBytes.Add(d)
+	}
+}
+
+// LagSeq is the follower's current lag in committed-but-unapplied batches.
+func (f *Follower) LagSeq() uint64 {
+	applied, primary := f.appliedSeq.Load(), f.primarySeq.Load()
+	if primary <= applied {
+		return 0
+	}
+	return primary - applied
+}
+
+// checkBound admits or rejects one read under its staleness bound.
+func (f *Follower) checkBound(b ReadBound) error {
+	if b.MaxLagSeq >= 0 {
+		if lag := f.LagSeq(); lag > uint64(b.MaxLagSeq) {
+			return fmt.Errorf("%w: lag is %d batches, bound is %d", ErrStaleRead, lag, b.MaxLagSeq)
+		}
+	}
+	if b.MaxLag > 0 {
+		at := f.caughtUpAt.Load()
+		if at == 0 {
+			return fmt.Errorf("%w: follower has not caught up since its last bootstrap", ErrStaleRead)
+		}
+		if since := time.Since(time.Unix(0, at)); since > b.MaxLag {
+			return fmt.Errorf("%w: last caught up %s ago, bound is %s", ErrStaleRead, since.Round(time.Millisecond), b.MaxLag)
+		}
+	}
+	return nil
+}
+
+// Count serves one counting query from the local resident state, provided
+// the follower can prove it is within the staleness bound.
+func (f *Follower) Count(q QueryOptions, b ReadBound) (*Result, error) {
+	if err := f.checkBound(b); err != nil {
+		return nil, err
+	}
+	return f.cl.Count(q)
+}
+
+// CountTraced is Count with a per-query execution trace.
+func (f *Follower) CountTraced(q QueryOptions, b ReadBound) (*Result, *obs.Trace, error) {
+	if err := f.checkBound(b); err != nil {
+		return nil, nil, err
+	}
+	return f.cl.CountTraced(q)
+}
+
+// Transitivity serves the global clustering coefficient under the bound.
+func (f *Follower) Transitivity(b ReadBound) (float64, error) {
+	if err := f.checkBound(b); err != nil {
+		return 0, err
+	}
+	return f.cl.Transitivity()
+}
+
+// Info returns a snapshot of the follower's replication state.
+func (f *Follower) Info() FollowerInfo {
+	applied, primary := f.appliedSeq.Load(), f.primarySeq.Load()
+	info := FollowerInfo{
+		PrimaryURL:     f.primary,
+		State:          "catching_up",
+		AppliedSeq:     applied,
+		PrimarySeq:     primary,
+		LagSeq:         f.LagSeq(),
+		LagMS:          -1,
+		Bootstraps:     f.bootstraps.Load(),
+		BootstrapBytes: f.client.SnapshotBytes(),
+		AppliedBatches: f.applied.Load(),
+		ReceivedBytes:  f.client.WALBytes(),
+		Frames:         f.client.Frames(),
+		LastError:      f.lastErr.Load().(string),
+		Cluster:        f.cl.Info(),
+	}
+	if at := f.caughtUpAt.Load(); at != 0 {
+		info.State = "ready"
+		info.LagMS = float64(time.Since(time.Unix(0, at)).Nanoseconds()) / 1e6
+		info.CaughtUp = info.LagSeq == 0
+	}
+	return info
+}
+
+// Metrics returns the follower's observability registry (role, lag and
+// applied-batch series included).
+func (f *Follower) Metrics() *obs.Registry { return f.cl.Metrics() }
+
+// Cluster exposes the follower's local resident cluster for reads,
+// statistics and metrics. It is read-only: its write path returns
+// ErrFollowerReadOnly. Reads through it bypass staleness bounds — use
+// Follower.Count for bounded reads.
+func (f *Follower) Cluster() *Cluster { return f.cl }
+
+// Close stops the apply loop and releases the local cluster. In-flight
+// reads finish; Close is idempotent.
+func (f *Follower) Close() error {
+	f.closeOnce.Do(func() {
+		f.cancel()
+		<-f.done
+		f.closeErr = f.cl.Close()
+	})
+	return f.closeErr
+}

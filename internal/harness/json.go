@@ -149,6 +149,31 @@ type jsonMaintenanceRun struct {
 	WallSec     float64 `json:"wall_s"`
 }
 
+// jsonReplicaRun is one machine-readable measurement of the replication
+// scenario (schema v8): one durable primary under a single-writer update
+// stream with R WAL-shipping followers serving the read workload. The
+// followers=0 row is the baseline the primary's write-throughput delta
+// and read-QPS scaling are judged against.
+type jsonReplicaRun struct {
+	Dataset         string  `json:"dataset"`
+	Ranks           int     `json:"ranks"`
+	Followers       int     `json:"followers"`
+	BatchSize       int     `json:"batch_size"`
+	Queries         int     `json:"queries"`
+	Batches         int     `json:"batches"`
+	ReadQPS         float64 `json:"read_qps"`
+	WriteBatchesPS  float64 `json:"write_batches_per_s"`
+	WriteLatencySec float64 `json:"write_batch_latency_s"`
+	LagSeqMean      float64 `json:"lag_seq_mean"`
+	LagSeqMax       int64   `json:"lag_seq_max"`
+	ConvergeMS      float64 `json:"converge_ms"`
+	BootstrapBytes  int64   `json:"bootstrap_bytes"`
+	WALBytes        int64   `json:"wal_shipped_bytes"`
+	Frames          int64   `json:"wal_frames"`
+	Triangles       int64   `json:"triangles"`
+	WallSec         float64 `json:"wall_s"`
+}
+
 // jsonDoc is the envelope written by WriteBenchJSON; the schema is the
 // contract for the BENCH_*.json perf-trajectory records kept across PRs.
 // Schema v2 added the update_runs section; v3 added concurrent_runs (the
@@ -156,9 +181,10 @@ type jsonMaintenanceRun struct {
 // vertex-space scenario); v5 added kernel_runs (the intra-rank parallel
 // kernel sweep); v6 added runtime (per-scenario self-observation of the
 // benchmark process: peak heap, GC pauses, registry deltas — absent or
-// empty when nothing was observed); v7 adds maintenance_runs (the
-// churn-proportional rebuild/snapshot scenario). Readers that ignore
-// unknown fields still parse older sections.
+// empty when nothing was observed); v7 added maintenance_runs (the
+// churn-proportional rebuild/snapshot scenario); v8 adds replica_runs (the
+// WAL-shipping read-replica scenario). Readers that ignore unknown fields
+// still parse older sections.
 type jsonDoc struct {
 	SchemaVersion int       `json:"schema_version"`
 	Generated     time.Time `json:"generated"`
@@ -173,6 +199,7 @@ type jsonDoc struct {
 	GrowthRuns      []jsonGrowthRun      `json:"growth_runs,omitempty"`
 	KernelRuns      []jsonKernelRun      `json:"kernel_runs,omitempty"`
 	MaintenanceRuns []jsonMaintenanceRun `json:"maintenance_runs,omitempty"`
+	ReplicaRuns     []jsonReplicaRun     `json:"replica_runs,omitempty"`
 	Runtime         []jsonRuntimeStat    `json:"runtime,omitempty"`
 }
 
@@ -183,9 +210,9 @@ type jsonDoc struct {
 // concurrent-scheduler, vertex-growth, kernel-sweep and maintenance
 // scenario point, and one runtime self-observation record per scenario
 // that ran.
-func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, growth []GrowthRow, kernel []KernelRow, maint []MaintenanceRow, rt []RuntimeStat, cfg Config) error {
+func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []ConcurrentRow, growth []GrowthRow, kernel []KernelRow, maint []MaintenanceRow, repl []ReplicaRow, rt []RuntimeStat, cfg Config) error {
 	var doc jsonDoc
-	doc.SchemaVersion = 7
+	doc.SchemaVersion = 8
 	doc.Generated = time.Now().UTC()
 	m := cfg.model()
 	doc.CostModel.Alpha = m.Alpha
@@ -301,6 +328,27 @@ func WriteBenchJSON(w io.Writer, rows []ScalingRow, upd []UpdateRow, conc []Conc
 			RebuildSec:  r.RebuildSec,
 			Triangles:   r.Triangles,
 			WallSec:     r.WallSec,
+		})
+	}
+	for _, r := range repl {
+		doc.ReplicaRuns = append(doc.ReplicaRuns, jsonReplicaRun{
+			Dataset:         r.Dataset,
+			Ranks:           r.Ranks,
+			Followers:       r.Followers,
+			BatchSize:       r.BatchSize,
+			Queries:         r.Queries,
+			Batches:         r.Batches,
+			ReadQPS:         r.ReadQPS,
+			WriteBatchesPS:  r.WriteBatchesPS,
+			WriteLatencySec: r.WriteLatencySec,
+			LagSeqMean:      r.LagSeqMean,
+			LagSeqMax:       r.LagSeqMax,
+			ConvergeMS:      r.ConvergeMS,
+			BootstrapBytes:  r.BootstrapBytes,
+			WALBytes:        r.WALBytes,
+			Frames:          r.Frames,
+			Triangles:       r.Triangles,
+			WallSec:         r.WallSec,
 		})
 	}
 	for _, r := range rt {

@@ -1,0 +1,373 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tc2d"
+	"tc2d/internal/obs"
+)
+
+// ReplicaRow is one measured point of the replication scenario: one durable
+// primary absorbing a single writer's update stream while R WAL-shipping
+// followers serve the read workload. The scenario's claims are the
+// replication layer's: aggregate read QPS grows with the follower count
+// (the followers' resident states answer reads the primary never sees),
+// the primary's write throughput stays flat (shipping is a log tail, not a
+// write-path participant), and every follower converges to the exact
+// maintained count — verified against the primary after the stream stops.
+type ReplicaRow struct {
+	Dataset   string
+	Ranks     int
+	Followers int // 0 = primary-only baseline; each follower adds its own paced readers
+	BatchSize int
+	Queries   int // reads completed across all serving endpoints
+	Batches   int // write batches the primary committed during the read window
+
+	ReadQPS         float64 // aggregate reads per wall second over the window
+	WriteBatchesPS  float64 // primary write batches per wall second over the window
+	WriteLatencySec float64 // mean wall seconds per ApplyUpdates call
+
+	LagSeqMean float64 // mean follower lag (batches) sampled during the window
+	LagSeqMax  int64   // worst sampled follower lag (batches)
+	ConvergeMS float64 // wall ms from writer stop until every follower matched the primary
+
+	BootstrapBytes int64 // snapshot blob bytes fetched by all followers
+	WALBytes       int64 // framed WAL bytes shipped to all followers
+	Frames         int64 // WAL frames shipped to all followers
+
+	Triangles int64 // converged count, identical on primary and every follower
+	WallSec   float64
+}
+
+// RunReplica measures the replication scenario on one dataset at one rank
+// count for every follower count in followerCounts: a durable primary is
+// built per point and its replication surface mounted on a loopback HTTP
+// server; R followers bootstrap from its snapshot chain and tail its WAL
+// while one writer streams update batches and readersPerEndpoint readers
+// per serving endpoint (the followers — or the primary itself in the R=0
+// baseline) each issue queriesPerReader counting queries.
+//
+// Both sides of the workload are paced (open loop) rather than
+// self-clocked, mirroring how a deployment is actually loaded. The writer
+// offers writeRate batches per second at every point, so the reported
+// WriteBatchesPS isolates what replication costs the primary's write path
+// (the commit-wake broadcast and the HTTP log tail) from the CPU the
+// co-located follower processes burn re-applying batches on the same
+// machine — a benchmark artifact a production deployment, with followers
+// on their own hosts, does not have. Each reader offers readRate queries
+// per second against its endpoint; every follower adds readersPerEndpoint
+// paced clients on top of the primary's, so the aggregate offered — and,
+// while capacity holds, served — read QPS grows with the follower count.
+// An endpoint that cannot hold its pace shows up as achieved QPS below the
+// offered rate.
+//
+// A non-nil reg is handed to the primary as Options.Metrics for
+// registry-delta observation.
+func RunReplica(spec Spec, p, batch, readersPerEndpoint, queriesPerReader int, writeRate, readRate float64, followerCounts []int, reg *obs.Registry) ([]ReplicaRow, error) {
+	g, err := spec.Params.Generate(spec.Scale, spec.EdgeFactor, spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("harness: generate %s: %w", spec.Name, err)
+	}
+	var rows []ReplicaRow
+	for _, followers := range followerCounts {
+		row, err := runReplicaOnce(spec, g, p, followers, batch, readersPerEndpoint, queriesPerReader, writeRate, readRate, reg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func runReplicaOnce(spec Spec, g *tc2d.Graph, p, followers, batch, readersPerEndpoint, queriesPerReader int, writeRate, readRate float64, reg *obs.Registry) (*ReplicaRow, error) {
+	fail := func(err error) (*ReplicaRow, error) {
+		return nil, fmt.Errorf("harness: replica %s on %d ranks, %d followers: %w", spec.Name, p, followers, err)
+	}
+	t0 := time.Now()
+	dir, err := os.MkdirTemp("", "tc2d-replica-*")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dir)
+	primary, err := tc2d.NewCluster(g, tc2d.Options{Ranks: p, PersistDir: dir, NoWALSync: true, Metrics: reg})
+	if err != nil {
+		return fail(err)
+	}
+	defer primary.Close()
+	if _, err := primary.Count(tc2d.QueryOptions{}); err != nil {
+		return fail(err)
+	}
+	rh, err := primary.ReplicationHandler()
+	if err != nil {
+		return fail(err)
+	}
+	srv := httptest.NewServer(rh)
+	defer srv.Close()
+
+	fls := make([]*tc2d.Follower, followers)
+	for i := range fls {
+		f, err := tc2d.OpenFollower(srv.URL, tc2d.Options{})
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		fls[i] = f
+	}
+	if err := waitReady(fls, 30*time.Second); err != nil {
+		return fail(err)
+	}
+
+	var stop atomic.Bool
+	errCh := make(chan error, 1+followers*readersPerEndpoint)
+
+	// One writer streams conflict-free batches through the primary — the
+	// same toggling insert/delete generator the concurrent scenario uses.
+	var batches atomic.Int64
+	var writeWall atomic.Int64
+	var writerWG sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / writeRate)
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		rng := rand.New(rand.NewSource(int64(spec.Seed)*6271 + int64(followers)))
+		present := map[[2]int32]bool{}
+		var owned [][2]int32
+		next := time.Now()
+		for !stop.Load() {
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+				if stop.Load() {
+					return
+				}
+			}
+			// Skip missed slots instead of bursting to catch up: a stalled
+			// primary reads as a lower achieved rate, not a latency spike
+			// followed by a flurry.
+			if next = next.Add(interval); next.Before(time.Now()) {
+				next = time.Now()
+			}
+			upd := make([]tc2d.EdgeUpdate, 0, batch)
+			touched := map[[2]int32]bool{}
+			for len(upd) < batch {
+				if len(owned) > 0 && rng.Intn(4) == 0 {
+					i := rng.Intn(len(owned))
+					k := owned[i]
+					if touched[k] {
+						continue
+					}
+					owned[i] = owned[len(owned)-1]
+					owned = owned[:len(owned)-1]
+					delete(present, k)
+					touched[k] = true
+					upd = append(upd, tc2d.EdgeUpdate{U: k[0], V: k[1], Op: tc2d.UpdateDelete})
+					continue
+				}
+				u, v := int32(rng.Intn(int(g.N))), int32(rng.Intn(int(g.N)))
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				k := [2]int32{u, v}
+				if present[k] || touched[k] {
+					continue
+				}
+				present[k] = true
+				touched[k] = true
+				owned = append(owned, k)
+				upd = append(upd, tc2d.EdgeUpdate{U: u, V: v, Op: tc2d.UpdateInsert})
+			}
+			t := time.Now()
+			if _, err := primary.ApplyUpdates(upd); err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				return
+			}
+			writeWall.Add(int64(time.Since(t)))
+			batches.Add(1)
+		}
+	}()
+
+	// Lag sampler: while the read window runs, poll every follower's lag.
+	var lagSum, lagSamples, lagMax atomic.Int64
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for !stop.Load() {
+			for _, f := range fls {
+				lag := int64(f.LagSeq())
+				lagSum.Add(lag)
+				lagSamples.Add(1)
+				for {
+					cur := lagMax.Load()
+					if lag <= cur || lagMax.CompareAndSwap(cur, lag) {
+						break
+					}
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Readers define the measurement window: readersPerEndpoint paced
+	// clients per serving endpoint — the primary plus every follower, each
+	// follower adding its own client population on top of the baseline's.
+	count := func(i int) error {
+		if ep := i % (followers + 1); ep > 0 {
+			_, err := fls[ep-1].Count(tc2d.QueryOptions{}, tc2d.Unbounded)
+			return err
+		}
+		_, err := primary.Count(tc2d.QueryOptions{})
+		return err
+	}
+	readers := (followers + 1) * readersPerEndpoint
+	readInterval := time.Duration(float64(time.Second) / readRate)
+	readStart := time.Now()
+	batchesAt := batches.Load()
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			next := time.Now()
+			for q := 0; q < queriesPerReader; q++ {
+				if wait := time.Until(next); wait > 0 {
+					time.Sleep(wait)
+				}
+				if next = next.Add(readInterval); next.Before(time.Now()) {
+					next = time.Now()
+				}
+				if err := count(r); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	readerWG.Wait()
+	window := time.Since(readStart).Seconds()
+	windowBatches := batches.Load() - batchesAt
+	stop.Store(true)
+	writerWG.Wait()
+	<-samplerDone
+	select {
+	case err := <-errCh:
+		return fail(err)
+	default:
+	}
+
+	// Convergence: after the stream stops every follower must reach the
+	// primary's committed sequence and report the exact same count — the
+	// differential correctness evidence of the whole shipping path.
+	final, err := primary.Count(tc2d.QueryOptions{})
+	if err != nil {
+		return fail(err)
+	}
+	tConv := time.Now()
+	if err := waitConverged(primary, fls, final.Triangles, 30*time.Second); err != nil {
+		return fail(err)
+	}
+	convergeMS := float64(time.Since(tConv).Nanoseconds()) / 1e6
+
+	row := &ReplicaRow{
+		Dataset: spec.Name, Ranks: p, Followers: followers, BatchSize: batch,
+		Queries: readers * queriesPerReader, Batches: int(windowBatches),
+		LagSeqMax:  lagMax.Load(),
+		ConvergeMS: convergeMS,
+		Triangles:  final.Triangles,
+		WallSec:    time.Since(t0).Seconds(),
+	}
+	if window > 0 {
+		row.ReadQPS = float64(row.Queries) / window
+		row.WriteBatchesPS = float64(windowBatches) / window
+	}
+	if b := batches.Load(); b > 0 {
+		row.WriteLatencySec = time.Duration(writeWall.Load()).Seconds() / float64(b)
+	}
+	if n := lagSamples.Load(); n > 0 {
+		row.LagSeqMean = float64(lagSum.Load()) / float64(n)
+	}
+	for _, f := range fls {
+		fi := f.Info()
+		row.BootstrapBytes += fi.BootstrapBytes
+		row.WALBytes += fi.ReceivedBytes
+		row.Frames += fi.Frames
+	}
+	return row, nil
+}
+
+// waitReady blocks until every follower has caught up once (State "ready").
+func waitReady(fls []*tc2d.Follower, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, f := range fls {
+		for f.Info().State != "ready" {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("follower not ready after %v: %+v", timeout, f.Info())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// waitConverged blocks until every follower has applied the primary's full
+// committed log and reports the primary's exact triangle count.
+func waitConverged(primary *tc2d.Cluster, fls []*tc2d.Follower, want int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	target := primary.CommittedSeq()
+	for _, f := range fls {
+		for {
+			fi := f.Info()
+			if fi.AppliedSeq >= target {
+				res, err := f.Count(tc2d.QueryOptions{}, tc2d.Unbounded)
+				if err != nil {
+					return err
+				}
+				if res.Triangles != want {
+					return fmt.Errorf("follower diverged: counted %d triangles at seq %d, primary has %d",
+						res.Triangles, fi.AppliedSeq, want)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				return errors.New("follower did not converge: " + fmt.Sprintf("applied %d of %d after %v (last error %q)",
+					fi.AppliedSeq, target, timeout, fi.LastError))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// TableReplica prints the replication scenario: aggregate read QPS scaling
+// with follower count against the flat primary write rate, the sampled lag
+// distribution and the bootstrap-vs-WAL shipping volumes.
+func TableReplica(w io.Writer, rows []ReplicaRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fprintf(w, "WAL-shipping replicas — %d-edge write batches, wall-clock times\n", rows[0].BatchSize)
+	fprintf(w, "%-22s %6s %9s %9s %9s %8s %8s %10s %10s %11s\n",
+		"dataset", "ranks", "followers", "readQPS", "write/s", "lag.mu", "lag.max", "conv(ms)", "boot(KB)", "wal(KB)")
+	for _, r := range rows {
+		fprintf(w, "%-22s %6d %9d %9.1f %9.1f %8.1f %8d %10.1f %10.1f %11.1f\n",
+			r.Dataset, r.Ranks, r.Followers, r.ReadQPS, r.WriteBatchesPS,
+			r.LagSeqMean, r.LagSeqMax, r.ConvergeMS,
+			float64(r.BootstrapBytes)/1024, float64(r.WALBytes)/1024)
+	}
+	return nil
+}

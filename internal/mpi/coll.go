@@ -207,7 +207,11 @@ func (c *Comm) AllreduceFloat64(v float64, op Op) float64 {
 }
 
 // Gatherv gathers one byte payload per rank onto root, indexed by source
-// rank. Non-root ranks receive nil.
+// rank. Non-root ranks receive nil. data is copied (callers may pass a
+// ByteSendBufs buffer and recycle it afterwards); the root may recycle the
+// returned parts with RecycleByteBufs once it has copied out of them —
+// unless it reinterpreted them in place (BytesToInt64s and friends alias
+// the payload), in which case they stay alive with the typed view.
 func (c *Comm) Gatherv(root int, data []byte) [][]byte {
 	p := c.world.size
 	if c.rank != root {
@@ -215,7 +219,7 @@ func (c *Comm) Gatherv(root int, data []byte) [][]byte {
 		return nil
 	}
 	out := make([][]byte, p)
-	buf := make([]byte, len(data))
+	buf := GetByteBuf(len(data))
 	copy(buf, data)
 	out[root] = buf
 	for r := 0; r < p; r++ {
@@ -228,9 +232,12 @@ func (c *Comm) Gatherv(root int, data []byte) [][]byte {
 }
 
 // AllgatherInt64s gathers each rank's slice and returns the concatenation (in
-// rank order) on every rank.
+// rank order) on every rank. The staged payload and the root's gathered
+// parts are dead once flattened, so they cycle through the byte pool.
 func (c *Comm) AllgatherInt64s(v []int64) []int64 {
-	parts := c.Gatherv(0, Int64sToBytes(v))
+	payload := Int64sToBytes(v)
+	parts := c.Gatherv(0, payload)
+	RecycleByteBuf(payload)
 	var flat []byte
 	if c.rank == 0 {
 		total := 0
@@ -241,13 +248,16 @@ func (c *Comm) AllgatherInt64s(v []int64) []int64 {
 		for _, p := range parts {
 			flat = append(flat, p...)
 		}
+		RecycleByteBufs(parts)
 	}
 	return BytesToInt64s(c.Bcast(0, flat))
 }
 
 // AllgatherFloat64s gathers each rank's slice, concatenated in rank order.
 func (c *Comm) AllgatherFloat64s(v []float64) []float64 {
-	parts := c.Gatherv(0, Float64sToBytes(v))
+	payload := Float64sToBytes(v)
+	parts := c.Gatherv(0, payload)
+	RecycleByteBuf(payload)
 	var flat []byte
 	if c.rank == 0 {
 		total := 0
@@ -258,6 +268,7 @@ func (c *Comm) AllgatherFloat64s(v []float64) []float64 {
 		for _, p := range parts {
 			flat = append(flat, p...)
 		}
+		RecycleByteBufs(parts)
 	}
 	return BytesToFloat64s(c.Bcast(0, flat))
 }
@@ -265,7 +276,10 @@ func (c *Comm) AllgatherFloat64s(v []float64) []float64 {
 // Alltoallv performs a personalized all-to-all exchange: send[d] goes to rank
 // d; the result's entry [s] is the payload received from rank s. This is the
 // p point-to-point send/receive formulation the paper uses (cost ≥ p + m/p).
-// Ownership of the send payloads transfers to the runtime.
+// Ownership of the send payloads transfers to the runtime — they may come
+// from ByteSendBufs, in which case receivers that copy out of the results
+// and recycle them (RecycleByteBufs) close the pool cycle. Results that
+// are reinterpreted in place must NOT be recycled while the view lives.
 func (c *Comm) Alltoallv(send [][]byte) [][]byte {
 	p := c.world.size
 	if len(send) != p {

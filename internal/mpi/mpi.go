@@ -511,9 +511,11 @@ func (c *Comm) chargeComm(d float64) {
 }
 
 // Send sends a tagged message to dst. The payload is copied, so the caller
-// may reuse data immediately.
+// may reuse data immediately. The wire copy is drawn from the byte pool:
+// receivers that recycle consumed payloads (RecycleByteBufs) keep the
+// staging allocation of every copying send at its high-water mark.
 func (c *Comm) Send(dst, tag int, data []byte) {
-	buf := make([]byte, len(data))
+	buf := GetByteBuf(len(data))
 	copy(buf, data)
 	c.SendOwn(dst, tag, buf)
 }

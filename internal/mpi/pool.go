@@ -36,3 +36,57 @@ func recycleSendBufs(send [][]int32) {
 		sendPool.Put(&b)
 	}
 }
+
+// byteSendPool recycles raw byte payloads: the wire staging buffer every
+// copying Send allocates, the per-destination buffers of the byte-slice
+// collectives (Alltoallv, Gatherv), and receive buffers their consumers
+// have fully copied out of. The ownership discipline is strict — only the
+// current owner of a buffer that is provably dead may recycle it. In
+// particular a received payload that was reinterpreted in place
+// (BytesToInt32s and friends alias the wire buffer when aligned) is NOT
+// dead while the typed view lives.
+var byteSendPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetByteBuf returns a length-n byte buffer drawn from the byte pool; its
+// contents are arbitrary. Pool-drawn buffers start at offset 0 of a
+// make([]byte)-allocated array, so the alignment guarantees of the typed
+// reinterpretation helpers hold for them.
+func GetByteBuf(n int) []byte {
+	b := *byteSendPool.Get().(*[]byte)
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// ByteSendBufs returns p empty byte send buffers drawn from the byte pool,
+// ready to fill with append and hand to Alltoallv, AlltoallvSparse or
+// Gatherv. Ownership follows the collective's contract: Alltoallv takes
+// the buffers (they become the receivers' payloads), Gatherv copies and
+// the caller may recycle afterwards.
+func ByteSendBufs(p int) [][]byte {
+	out := make([][]byte, p)
+	for i := range out {
+		out[i] = GetByteBuf(0)
+	}
+	return out
+}
+
+// RecycleByteBuf returns one dead byte buffer to the pool.
+func RecycleByteBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	byteSendPool.Put(&b)
+}
+
+// RecycleByteBufs returns a set of dead byte payloads to the pool — e.g.
+// the parts a Gatherv root has finished copying out of. Entries are nilled
+// so a stale read fails fast instead of observing recycled memory.
+func RecycleByteBufs(bufs [][]byte) {
+	for i, b := range bufs {
+		bufs[i] = nil
+		RecycleByteBuf(b)
+	}
+}

@@ -1,0 +1,169 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tc2d/internal/snapshot"
+)
+
+// Server is the primary's replication surface, mounted by tcd under
+// /repl/. All endpoints are read-only GETs:
+//
+//	/repl/wal?from=S[&max_records=N][&max_bytes=B][&wait_ms=W]
+//	    → one binary frame of records with seq > S (long-polls up to W ms
+//	      when caught up); 410 Gone + JSON {newest_snapshot_seq} when S
+//	      predates retention.
+//	/repl/snapshot/newest            → JSON {"seq": N}; 404 when none yet.
+//	/repl/snapshot/{seq}/manifest    → the snapshot's manifest JSON.
+//	/repl/snapshot/{seq}/rank/{rank} → the rank's decoded blob payload,
+//	      CRC-verified on the way out; the follower re-verifies against the
+//	      manifest pin.
+type Server struct {
+	src      Source
+	streamer *Streamer
+	mux      *http.ServeMux
+
+	// OnWALShip/OnSnapShip, when set before serving, observe every shipped
+	// frame (records and wire bytes) and bootstrap blob (bytes).
+	OnWALShip  func(records, bytes int)
+	OnSnapShip func(bytes int)
+}
+
+const (
+	maxServeWait  = 30 * time.Second
+	maxServeBytes = 16 << 20
+)
+
+func NewServer(src Source) *Server {
+	s := &Server{src: src, streamer: NewStreamer(src)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /repl/wal", s.handleWAL)
+	mux.HandleFunc("GET /repl/snapshot/newest", s.handleNewest)
+	mux.HandleFunc("GET /repl/snapshot/{seq}/manifest", s.handleManifest)
+	mux.HandleFunc("GET /repl/snapshot/{seq}/rank/{rank}", s.handleRank)
+	s.mux = mux
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad from parameter: %v", err)
+		return
+	}
+	maxRecords, _ := strconv.Atoi(q.Get("max_records"))
+	maxBytes, _ := strconv.Atoi(q.Get("max_bytes"))
+	if maxBytes <= 0 || maxBytes > maxServeBytes {
+		maxBytes = maxServeBytes
+	}
+	var wait time.Duration
+	if ms, err := strconv.Atoi(q.Get("wait_ms")); err == nil && ms > 0 {
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxServeWait {
+			wait = maxServeWait
+		}
+	}
+	frame, err := s.streamer.Frame(r.Context(), from, maxRecords, maxBytes, wait)
+	if errors.Is(err, ErrGone) {
+		newest := uint64(0)
+		if m, merr := snapshot.LoadNewest(s.src.WALDir()); merr == nil && m != nil {
+			newest = m.AppliedSeq
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "newest_snapshot_seq": newest})
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	b := frame.Encode()
+	if s.OnWALShip != nil {
+		s.OnWALShip(len(frame.Records), len(b))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.Write(b)
+}
+
+func (s *Server) handleNewest(w http.ResponseWriter, r *http.Request) {
+	m, err := snapshot.LoadNewest(s.src.WALDir())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if m == nil {
+		httpError(w, http.StatusNotFound, "no snapshot published yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"seq": m.AppliedSeq})
+}
+
+func (s *Server) pathSeq(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	seq, err := strconv.ParseUint(r.PathValue("seq"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad snapshot seq: %v", err)
+		return 0, false
+	}
+	return seq, true
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	seq, ok := s.pathSeq(w, r)
+	if !ok {
+		return
+	}
+	m, err := snapshot.Load(s.src.WALDir(), seq)
+	if err != nil {
+		// Compaction may have pruned it between the follower's newest lookup
+		// and this fetch; 404 tells the follower to restart its bootstrap.
+		httpError(w, http.StatusNotFound, "snapshot %d: %v", seq, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(m)
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	seq, ok := s.pathSeq(w, r)
+	if !ok {
+		return
+	}
+	rank, err := strconv.Atoi(r.PathValue("rank"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad rank: %v", err)
+		return
+	}
+	m, err := snapshot.Load(s.src.WALDir(), seq)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "snapshot %d: %v", seq, err)
+		return
+	}
+	payload, err := snapshot.ReadRank(s.src.WALDir(), m, rank)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "snapshot %d rank %d: %v", seq, rank, err)
+		return
+	}
+	if s.OnSnapShip != nil {
+		s.OnSnapShip(len(payload))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.Write(payload)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,288 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tc2d/internal/snapshot"
+)
+
+// fakeSource is a Source backed by a real WAL on disk, with the same
+// commit-then-wake discipline the cluster uses.
+type fakeSource struct {
+	dir       string
+	committed atomic.Uint64
+
+	mu   sync.Mutex
+	wake chan struct{}
+	wal  *snapshot.WAL
+}
+
+func newFakeSource(t *testing.T) *fakeSource {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := snapshot.CreateWAL(dir, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return &fakeSource{dir: dir, wake: make(chan struct{}), wal: w}
+}
+
+func (s *fakeSource) WALDir() string       { return s.dir }
+func (s *fakeSource) CommittedSeq() uint64 { return s.committed.Load() }
+
+func (s *fakeSource) WaitCommitted(ctx context.Context, after uint64) uint64 {
+	for {
+		if seq := s.committed.Load(); seq > after {
+			return seq
+		}
+		s.mu.Lock()
+		ch := s.wake
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return s.committed.Load()
+		}
+	}
+}
+
+func (s *fakeSource) append(t *testing.T, seq uint64, payload []byte) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.wal.Append(seq, payload); err != nil {
+		t.Fatal(err)
+	}
+	s.committed.Store(seq)
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+func (s *fakeSource) rotate(t *testing.T, base uint64) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.wal.Rotate(base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walSegPath names a WAL segment file the way the snapshot package does;
+// the tests reach around the API to simulate torn writes and retention.
+func walSegPath(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", base))
+}
+
+func appendRawTail(dir string, base uint64, junk []byte) error {
+	f, err := os.OpenFile(walSegPath(dir, base), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(junk)
+	return err
+}
+
+func removeSegment(dir string, base uint64) error {
+	return os.Remove(walSegPath(dir, base))
+}
+
+func corruptRankBlob(dir string, seq uint64, m *snapshot.Manifest, rank int) error {
+	path := filepath.Join(snapshot.Dir(dir, seq), m.RankFiles[rank].Name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	raw[len(raw)/2] ^= 0xff
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// The full shipping path — streamer cuts frames from the WAL, server
+// serves them, client decodes — including long-poll wake-up and
+// cross-rotation tailing.
+func TestStreamEndToEnd(t *testing.T) {
+	src := newFakeSource(t)
+	hs := httptest.NewServer(NewServer(src))
+	defer hs.Close()
+	cli := NewClient(hs.URL)
+	ctx := context.Background()
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		src.append(t, seq, []byte(fmt.Sprintf("batch-%d", seq)))
+	}
+	src.rotate(t, 3)
+	src.append(t, 4, []byte("batch-4"))
+
+	f, err := cli.Frame(ctx, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Committed != 4 || len(f.Records) != 4 {
+		t.Fatalf("committed=%d records=%d", f.Committed, len(f.Records))
+	}
+	for i, r := range f.Records {
+		if want := uint64(i + 1); r.Seq != want || string(r.Payload) != fmt.Sprintf("batch-%d", want) {
+			t.Fatalf("record %d: seq=%d payload=%q", i, r.Seq, r.Payload)
+		}
+	}
+
+	// Caught up with no wait: an immediate empty heartbeat.
+	f, err = cli.Frame(ctx, 4, 0, 0)
+	if err != nil || len(f.Records) != 0 || f.Committed != 4 {
+		t.Fatalf("heartbeat: %+v err=%v", f, err)
+	}
+
+	// Long poll: the request blocks until a commit lands, then ships it.
+	done := make(chan *Frame, 1)
+	go func() {
+		f, err := cli.Frame(ctx, 4, 0, 5*time.Second)
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- f
+	}()
+	time.Sleep(30 * time.Millisecond) // let the poll park on the wake channel
+	src.append(t, 5, []byte("batch-5"))
+	select {
+	case f = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll never woke up after commit")
+	}
+	if f == nil || len(f.Records) != 1 || f.Records[0].Seq != 5 {
+		t.Fatalf("long-polled frame: %+v", f)
+	}
+}
+
+// A torn append in flight at the tail must not stall or corrupt the
+// stream: the complete prefix ships, and the repaired record ships later.
+func TestStreamTornTailMidStream(t *testing.T) {
+	src := newFakeSource(t)
+	hs := httptest.NewServer(NewServer(src))
+	defer hs.Close()
+	cli := NewClient(hs.URL)
+	ctx := context.Background()
+
+	src.append(t, 1, []byte("batch-1"))
+	src.append(t, 2, []byte("batch-2"))
+	// Simulate the primary mid-append: raw bytes of a record that has not
+	// fully landed, written directly past the committed tail.
+	src.mu.Lock()
+	if err := appendRawTail(src.dir, 0, []byte{0x45, 0x52, 0x43, 0x54, 0xff, 0x00}); err != nil {
+		src.mu.Unlock()
+		t.Fatal(err)
+	}
+	src.mu.Unlock()
+
+	f, err := cli.Frame(ctx, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != 2 || f.Committed != 2 {
+		t.Fatalf("torn tail leaked into the stream: records=%d committed=%d", len(f.Records), f.Committed)
+	}
+}
+
+// Retention pruning maps to ErrGone end to end (streamer → 410 → client),
+// telling the follower to re-bootstrap rather than silently skip records.
+func TestStreamGone(t *testing.T) {
+	src := newFakeSource(t)
+	hs := httptest.NewServer(NewServer(src))
+	defer hs.Close()
+	cli := NewClient(hs.URL)
+	ctx := context.Background()
+
+	for seq := uint64(1); seq <= 4; seq++ {
+		src.append(t, seq, []byte("x"))
+		if seq == 2 {
+			src.rotate(t, 2)
+		}
+	}
+	// Retention removes the first segment (records 1..2).
+	if err := removeSegment(src.dir, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := cli.Frame(ctx, 1, 0, 0); !errors.Is(err, ErrGone) {
+		t.Fatalf("err=%v, want ErrGone", err)
+	}
+	// A cursor inside the retained suffix still streams.
+	f, err := cli.Frame(ctx, 2, 0, 0)
+	if err != nil || len(f.Records) != 2 {
+		t.Fatalf("retained suffix: %+v err=%v", f, err)
+	}
+}
+
+// Snapshot bootstrap endpoints: newest discovery, manifest fetch with
+// validation, and CRC-pinned rank blobs — plus in-transit damage detection.
+func TestStreamSnapshotFetch(t *testing.T) {
+	src := newFakeSource(t)
+	const ranks = 4
+	w, err := snapshot.NewWriter(src.dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := make([][]byte, ranks)
+	for r := 0; r < ranks; r++ {
+		blobs[r] = []byte(fmt.Sprintf("rank-%d-state", r))
+		if err := w.WriteRank(r, blobs[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(snapshot.Manifest{Ranks: ranks, AppliedSeq: 3, Triangles: 17}); err != nil {
+		t.Fatal(err)
+	}
+
+	hs := httptest.NewServer(NewServer(src))
+	defer hs.Close()
+	cli := NewClient(hs.URL)
+	ctx := context.Background()
+
+	seq, ok, err := cli.NewestSnapshot(ctx)
+	if err != nil || !ok || seq != 3 {
+		t.Fatalf("newest: seq=%d ok=%v err=%v", seq, ok, err)
+	}
+	m, err := cli.Manifest(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ranks != ranks || m.Triangles != 17 {
+		t.Fatalf("manifest: %+v", m)
+	}
+	for r := 0; r < ranks; r++ {
+		b, err := cli.RankBlob(ctx, m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(blobs[r]) {
+			t.Fatalf("rank %d blob %q", r, b)
+		}
+	}
+	if cli.SnapshotBytes() == 0 {
+		t.Fatal("snapshot byte accounting never incremented")
+	}
+
+	// Damage a blob on disk: the manifest's CRC pin must reject the fetch
+	// (the primary's own read check fires first; the client re-verifies
+	// against the same pin for in-transit damage).
+	if err := corruptRankBlob(src.dir, 3, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.RankBlob(ctx, m, 1); err == nil {
+		t.Fatal("damaged rank blob was served and accepted")
+	}
+	if _, err := cli.Manifest(ctx, 99); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("err=%v, want missing-snapshot rejection", err)
+	}
+}

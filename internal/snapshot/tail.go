@@ -1,0 +1,112 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Record is one committed WAL record as observed by a live tail. The
+// payload is a private copy, valid after the call returns.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// ReadAfter reads committed WAL records with sequence numbers > after from
+// the segments under dir, in order, up to maxRecords records or ~maxBytes of
+// payload (whichever comes first; <= 0 means unbounded, and the first
+// available record is always returned even when larger than maxBytes).
+//
+// Unlike Replay this is a LIVE tail: the primary may be appending to — or
+// rotating — the newest segment while we scan it, so an incomplete or
+// checksum-failing record at the newest segment's tail simply ends the read
+// (it is the write in flight, never truncated from here). Corruption or a
+// sequence gap anywhere else still fails with ErrCorrupt: acked records are
+// missing and the reader must not skip over them.
+//
+// gone reports that records in (after, oldest segment base] have been
+// pruned by snapshot retention — the caller holds state too old to catch up
+// from the log and must re-bootstrap from a snapshot.
+func ReadAfter(dir string, after uint64, maxRecords, maxBytes int) (recs []Record, gone bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	var bases []uint64
+	for _, e := range entries {
+		if base, ok := parseSeq(e.Name(), walPrefix, walSuffix); ok && !e.IsDir() {
+			bases = append(bases, base)
+		}
+	}
+	if len(bases) == 0 {
+		return nil, false, nil
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	if after < bases[0] {
+		return nil, true, nil
+	}
+
+	// Segment wal-<b>.log holds records with seq > b; start at the largest
+	// base <= after and take every later segment.
+	start := sort.Search(len(bases), func(i int) bool { return bases[i] > after }) - 1
+	last := after
+	bytes := 0
+	for i := start; i < len(bases); i++ {
+		base := bases[i]
+		isNewest := i == len(bases)-1
+		raw, err := os.ReadFile(filepath.Join(dir, walFileName(base)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Retention advanced between ReadDir and here; whatever this
+				// segment held past `last` is unrecoverable from the log.
+				return recs, true, nil
+			}
+			return recs, false, err
+		}
+		if len(raw) < walHdrLen {
+			if isNewest {
+				// Rotation in flight: the successor exists but its header has
+				// not landed yet. Nothing committed lives here.
+				return recs, false, nil
+			}
+			return recs, false, fmt.Errorf("wal segment %x: short header in a non-tail segment: %w", base, ErrCorrupt)
+		}
+		if readU32(raw) != walMagic || readU32(raw[4:]) != FormatVersion || readU64(raw[8:]) != base {
+			return recs, false, fmt.Errorf("wal segment %x: bad header: %w", base, ErrCorrupt)
+		}
+		off := walHdrLen
+		for off < len(raw) {
+			rec, n, ok := parseRecord(raw[off:])
+			if !ok {
+				if isNewest {
+					// The append in flight (or a torn tail the next Replay
+					// will truncate). The tail ends here for now.
+					return recs, false, nil
+				}
+				return recs, false, fmt.Errorf("wal segment %x: corrupt record at offset %d in a non-tail segment: %w",
+					base, off, ErrCorrupt)
+			}
+			off += n
+			if rec.seq <= after {
+				continue
+			}
+			if rec.seq != last+1 {
+				return recs, false, fmt.Errorf("wal: record seq %d after %d (gap): %w", rec.seq, last, ErrCorrupt)
+			}
+			payload := make([]byte, len(rec.payload))
+			copy(payload, rec.payload)
+			recs = append(recs, Record{Seq: rec.seq, Payload: payload})
+			last = rec.seq
+			bytes += len(payload)
+			if (maxRecords > 0 && len(recs) >= maxRecords) || (maxBytes > 0 && bytes >= maxBytes) {
+				return recs, false, nil
+			}
+		}
+	}
+	return recs, false, nil
+}

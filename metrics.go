@@ -72,6 +72,23 @@ type clusterMetrics struct {
 	// churn-proportional diffs, and their (much smaller) sizes.
 	snapDeltaWrites *obs.Counter
 	snapDeltaBytes  *obs.Histogram
+
+	// Replication. The primary side counts what its streaming surface ships
+	// (frames, records, wire bytes, bootstrap blob bytes); the follower side
+	// tracks its position in the stream (applied/primary seq, lag), the
+	// batches it applied, and its bootstrap traffic. tc_role{role} marks
+	// which side this process is (set by ReplicationHandler / OpenFollower).
+	replShippedFrames  *obs.Counter
+	replShippedRecords *obs.Counter
+	replShippedBytes   *obs.Counter
+	replSnapShipBytes  *obs.Counter
+	replAppliedSeq     *obs.Gauge
+	replPrimarySeq     *obs.Gauge
+	replLagSeq         *obs.Gauge
+	replBatchesApplied *obs.Counter
+	replReceivedBytes  *obs.Counter
+	replBootstraps     *obs.Counter
+	replBootstrapBytes *obs.Counter
 }
 
 // rebuildModes are the mode labels of tc_rebuilds_total.
@@ -154,6 +171,29 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 		snapDeltaBytes: reg.Histogram("tc_snapshot_delta_bytes",
 			"Total size of the per-rank delta blobs of one delta snapshot.",
 			obs.SizeBuckets),
+
+		replShippedFrames: reg.Counter("tc_repl_shipped_frames_total",
+			"WAL frames shipped to followers by this primary."),
+		replShippedRecords: reg.Counter("tc_repl_shipped_records_total",
+			"WAL records shipped to followers by this primary."),
+		replShippedBytes: reg.Counter("tc_repl_shipped_bytes_total",
+			"Frame wire bytes shipped to followers by this primary."),
+		replSnapShipBytes: reg.Counter("tc_repl_snapshot_shipped_bytes_total",
+			"Snapshot blob bytes shipped to bootstrapping followers."),
+		replAppliedSeq: reg.Gauge("tc_repl_applied_seq",
+			"Last WAL sequence this follower has applied."),
+		replPrimarySeq: reg.Gauge("tc_repl_primary_seq",
+			"Primary committed WAL sequence as last observed by this follower."),
+		replLagSeq: reg.Gauge("tc_repl_lag_seq",
+			"Committed-but-unapplied batches between the primary and this follower."),
+		replBatchesApplied: reg.Counter("tc_repl_batches_applied_total",
+			"Replicated write batches this follower applied."),
+		replReceivedBytes: reg.Counter("tc_repl_received_bytes_total",
+			"Frame wire bytes this follower fetched from its primary."),
+		replBootstraps: reg.Counter("tc_repl_bootstraps_total",
+			"Snapshot bootstraps this follower performed (initial and re-bootstraps)."),
+		replBootstrapBytes: reg.Counter("tc_repl_bootstrap_bytes_total",
+			"Snapshot blob bytes this follower fetched while bootstrapping."),
 	}
 	for _, mode := range rebuildModes {
 		m.rebuildsBy[mode] = reg.Counter("tc_rebuilds_total",
@@ -171,6 +211,19 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 			obs.DurationBuckets, obs.L("op", op))
 	}
 	return m
+}
+
+// setRole publishes tc_role{role=...} = 1 — the process-role marker
+// scrapers group dashboards by. Called once, when the cluster takes a
+// replication role (primary or follower); standalone clusters expose no
+// role series.
+func (m *clusterMetrics) setRole(role string) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Gauge("tc_role",
+		"Replication role of this process (1 for the role held).",
+		obs.L("role", role)).Set(1)
 }
 
 // registry returns the underlying registry (nil when metrics are disabled).

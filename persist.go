@@ -23,6 +23,7 @@ package tc2d
 //     what a from-scratch cluster over the mutated graph would report.
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -118,6 +119,13 @@ type persister struct {
 	snapshots int64
 	lastInfo  *SnapshotInfo
 	failed    error // set when the WAL can no longer be trusted to be ahead
+
+	// seqWait is the commit wake: closed (and replaced) on every committed
+	// append, so WAL streamers long-polling for records past the committed
+	// sequence unblock without polling the log. walDone marks the WAL handle
+	// closed; waiters return instead of spinning on the final broadcast.
+	seqWait chan struct{}
+	walDone bool
 
 	// Delta-chain state. baseSeq/haveBase name the base snapshot the chain
 	// hangs off; chainLen counts the deltas since it; churnBase the
@@ -233,6 +241,7 @@ func (cl *Cluster) initPersist(opt Options, snapFrac float64) error {
 		autoSnap:  !opt.DisableAutoSnapshot,
 		deltaSnap: !opt.DisableDeltaSnapshot,
 		wal:       wal,
+		seqWait:   make(chan struct{}),
 	}
 	if _, err := cl.snapshotShared(); err != nil {
 		wal.Close()
@@ -263,7 +272,55 @@ func (cl *Cluster) logCommitted(batch []delta.Update, effEdges int64) error {
 	p.seq++
 	p.walEdges += effEdges
 	p.churnBase += effEdges
+	close(p.seqWait)
+	p.seqWait = make(chan struct{})
 	return nil
+}
+
+// CommittedSeq reports the sequence number of the last durably committed
+// (acknowledged) write batch — 0 on clusters without a PersistDir. This and
+// the two methods below make a durable Cluster a repl.Source: the WAL
+// streaming surface reads segments straight from the persistence directory
+// and long-polls on the commit wake.
+func (cl *Cluster) CommittedSeq() uint64 {
+	p := cl.persist
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
+// WALDir is the persistence directory, "" when durability is disabled.
+func (cl *Cluster) WALDir() string {
+	if cl.persist == nil {
+		return ""
+	}
+	return cl.persist.dir
+}
+
+// WaitCommitted blocks until the committed sequence exceeds after, the
+// context is done, or the cluster closes, and returns the committed
+// sequence either way.
+func (cl *Cluster) WaitCommitted(ctx context.Context, after uint64) uint64 {
+	p := cl.persist
+	if p == nil {
+		return 0
+	}
+	for {
+		p.mu.Lock()
+		seq, ch, done := p.seq, p.seqWait, p.walDone
+		p.mu.Unlock()
+		if seq > after || done {
+			return seq
+		}
+		select {
+		case <-ctx.Done():
+			return seq
+		case <-ch:
+		}
+	}
 }
 
 // autoSnapshotDue evaluates the snapshot trigger after a write drain, with
@@ -551,6 +608,10 @@ func (cl *Cluster) closePersist() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.wal.Close()
+	if !p.walDone {
+		p.walDone = true
+		close(p.seqWait)
+	}
 }
 
 // OpenCluster restores a resident cluster from a persistence directory
@@ -661,6 +722,53 @@ func loadChain(dir string, m *snapshot.Manifest) ([]*snapshot.Manifest, error) {
 	return chain, nil
 }
 
+// decodeChain materializes one validated chain (base manifest first, deltas
+// in application order) into per-rank prepared state, inside one exclusive
+// epoch of world: every rank fetches and decodes its base blob and applies
+// each delta blob on top, in parallel. fetch returns the verified blob of
+// one chain member for one rank — disk for OpenCluster, the primary's HTTP
+// surface for a follower bootstrap. track enables dirty-row tracking for
+// clusters that will write delta snapshots of their own (followers don't).
+func decodeChain(world *mpi.World, chain []*snapshot.Manifest, fetch func(m *snapshot.Manifest, rank int) ([]byte, error), kthreads int, noAdaptive, track bool) ([]*core.Prepared, error) {
+	m := chain[len(chain)-1]
+	prep := make([]*core.Prepared, m.Ranks)
+	_, err := world.Run(func(c *mpi.Comm) (any, error) {
+		blob, err := fetch(chain[0], c.Rank())
+		if err != nil {
+			return nil, err
+		}
+		var pr *core.Prepared
+		var derr error
+		c.Compute(func() { pr, derr = core.DecodePrepared(blob, c.Rank(), m.Ranks) })
+		if derr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, derr)
+		}
+		for _, dm := range chain[1:] {
+			dblob, err := fetch(dm, c.Rank())
+			if err != nil {
+				return nil, err
+			}
+			var aerr error
+			c.Compute(func() { aerr = core.ApplyPreparedDelta(pr, dblob, c.Rank(), m.Ranks) })
+			if aerr != nil {
+				return nil, fmt.Errorf("%w: applying delta snapshot %d: %v", ErrSnapshotCorrupt, dm.AppliedSeq, aerr)
+			}
+		}
+		// Track dirtiness from the restored state on, so the next snapshot
+		// can continue the chain as a delta.
+		if track {
+			pr.EnableSnapshotTracking()
+		}
+		pr.SetKernelConfig(kthreads, noAdaptive)
+		prep[c.Rank()] = pr
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return prep, nil
+}
+
 // openFromChain restores from one validated chain (base manifest first,
 // deltas in application order, the terminal last): every rank decodes its
 // base blob and applies each delta blob on top in parallel, the WAL tail
@@ -687,36 +795,9 @@ func openFromChain(dir string, chain []*snapshot.Manifest, opt Options, frac, sn
 	if err != nil {
 		return nil, err
 	}
-	prep := make([]*core.Prepared, m.Ranks)
-	_, err = world.Run(func(c *mpi.Comm) (any, error) {
-		blob, err := snapshot.ReadRank(dir, chain[0], c.Rank())
-		if err != nil {
-			return nil, err
-		}
-		var pr *core.Prepared
-		var derr error
-		c.Compute(func() { pr, derr = core.DecodePrepared(blob, c.Rank(), m.Ranks) })
-		if derr != nil {
-			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, derr)
-		}
-		for _, dm := range chain[1:] {
-			dblob, err := snapshot.ReadRank(dir, dm, c.Rank())
-			if err != nil {
-				return nil, err
-			}
-			var aerr error
-			c.Compute(func() { aerr = core.ApplyPreparedDelta(pr, dblob, c.Rank(), m.Ranks) })
-			if aerr != nil {
-				return nil, fmt.Errorf("%w: applying delta snapshot %d: %v", ErrSnapshotCorrupt, dm.AppliedSeq, aerr)
-			}
-		}
-		// Track dirtiness from the restored state on, so the next snapshot
-		// can continue the chain as a delta.
-		pr.EnableSnapshotTracking()
-		pr.SetKernelConfig(kthreads, opt.NoAdaptiveIntersect)
-		prep[c.Rank()] = pr
-		return nil, nil
-	})
+	prep, err := decodeChain(world, chain, func(cm *snapshot.Manifest, rank int) ([]byte, error) {
+		return snapshot.ReadRank(dir, cm, rank)
+	}, kthreads, opt.NoAdaptiveIntersect, true)
 	if err != nil {
 		world.Close()
 		return nil, err
@@ -790,6 +871,7 @@ func openFromChain(dir string, chain []*snapshot.Manifest, opt Options, frac, sn
 		autoSnap:  !opt.DisableAutoSnapshot,
 		deltaSnap: !opt.DisableDeltaSnapshot,
 		wal:       wal,
+		seqWait:   make(chan struct{}),
 		seq:       last,
 		snapSeq:   m.AppliedSeq,
 		walEdges:  walEdges,

@@ -102,6 +102,9 @@ func (cl *Cluster) enqueueWrite(batch []EdgeUpdate) (*UpdateResult, error) {
 // enqueueWriteTraced is enqueueWrite carrying an optional per-request trace
 // whose spans the write path fills in (queue wait, shared epoch, WAL).
 func (cl *Cluster) enqueueWriteTraced(batch []EdgeUpdate, tr *obs.Trace) (*UpdateResult, error) {
+	if cl.readOnly {
+		return nil, ErrFollowerReadOnly
+	}
 	s := cl.sched
 	start := time.Now()
 	req := &writeReq{batch: batch, done: make(chan struct{}), enqueued: start, trace: tr}
