@@ -53,7 +53,9 @@ type Enumeration = core.Enumeration
 
 // Enumeration rules: ⟨j,i,k⟩ (the paper's default) and ⟨i,j,k⟩.
 const (
+	// EnumJIK enumerates triangles by the paper's default ⟨j,i,k⟩ rule.
 	EnumJIK = core.EnumJIK
+	// EnumIJK enumerates triangles by the alternative ⟨i,j,k⟩ rule.
 	EnumIJK = core.EnumIJK
 )
 
@@ -63,8 +65,12 @@ type RMATParams = rmat.Params
 // Generator presets: the Graph500 parameters used for the paper's g500
 // datasets and the scaled-down stand-ins for its real-world graphs.
 var (
-	G500          = rmat.G500
-	Twitterish    = rmat.Twitterish
+	// G500 is the Graph500 RMAT parameter set (a=0.57, b=c=0.19).
+	G500 = rmat.G500
+	// Twitterish skews the quadrants toward a Twitter-like degree profile.
+	Twitterish = rmat.Twitterish
+	// Friendsterish is the uniform-quadrant (Erdős–Rényi-like) preset, the
+	// stand-in for Friendster's very low triangle density.
 	Friendsterish = rmat.Friendsterish
 )
 
@@ -82,6 +88,7 @@ const (
 	TransportTCP
 )
 
+// String names the transport ("channel" or "tcp") for logs and /stats.
 func (t Transport) String() string {
 	if t == TransportTCP {
 		return "tcp"

@@ -125,6 +125,11 @@ type ClusterInfo struct {
 	// Persist reports the durability state (WAL sequence, snapshots,
 	// replay); Persist.Enabled is false when Options.PersistDir was unset.
 	Persist PersistInfo
+	// Workers is the number of connected worker processes on a coordinator
+	// cluster (0 on in-process clusters); Degraded reports whether such a
+	// cluster is currently missing workers or mid-recovery.
+	Workers  int
+	Degraded bool
 }
 
 // Cluster is a resident distributed graph: the preprocessing pipeline
@@ -142,7 +147,12 @@ type ClusterInfo struct {
 // queue, waits out in-flight queries, and is idempotent; late callers get
 // ErrClosed.
 type Cluster struct {
-	world     *mpi.World
+	world *mpi.World
+	// remote replaces world on coordinator clusters (NewClusterCoordinator):
+	// epochs run on worker processes over TCP instead of in-process
+	// goroutines, and prep stays nil — the resident state lives in the
+	// workers. Exactly one of world and remote is non-nil.
+	remote    *remoteBackend
 	enum      Enumeration
 	ranks     int
 	transport Transport
@@ -405,20 +415,43 @@ func (cl *Cluster) countShared(q QueryOptions) (*Result, error) {
 // the cluster registry.
 func (cl *Cluster) countEpoch(q QueryOptions, parent *obs.Span) (*Result, error) {
 	copt := cl.queryCoreOptions(q)
-	copt.Metrics = cl.metrics.registry()
-	copt.Trace = parent
-	prep := cl.prep
-	results, err := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
-		return core.CountPrepared(c, prep[c.Rank()], copt)
-	})
-	if err != nil {
-		return nil, err
+	var res *core.Result
+	if cl.remote != nil {
+		// Worker processes run the epoch; per-rank traces and kernel
+		// counters stay in the workers' own registries.
+		var err error
+		res, err = cl.remote.count(copt)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		copt.Metrics = cl.metrics.registry()
+		copt.Trace = parent
+		prep := cl.prep
+		results, err := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
+			return core.CountPrepared(c, prep[c.Rank()], copt)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res = results[0].(*core.Result)
 	}
-	res := results[0].(*core.Result)
 	cl.lastTri.Store(res.Triangles)
 	cl.mapTasks.Add(res.MapTasks)
 	cl.mergeTasks.Add(res.MergeTasks)
 	return res, nil
+}
+
+// metaNow reads the cluster's graph metadata: rank 0's resident state
+// in-process, the piggybacked cache of the newest epoch reply on
+// coordinator clusters. Every metadata consumer (Info, staleness checks,
+// coalescing, metrics) goes through this seam so it cannot care where the
+// ranks live.
+func (cl *Cluster) metaNow() wireMeta {
+	if cl.remote != nil {
+		return cl.remote.metaNow()
+	}
+	return metaOf(cl.prep[0])
 }
 
 // resultCopy gives each caller of a shared flight its own Result value,
@@ -456,7 +489,7 @@ func (cl *Cluster) Transitivity() (float64, error) {
 		cl.queries.Add(1)
 	}
 	cl.metrics.observeOp("transitivity", start, nil)
-	return TransitivityFromTotals(cl.lastTri.Load(), cl.prep[0].Wedges()), nil
+	return TransitivityFromTotals(cl.lastTri.Load(), cl.metaNow().Wedges), nil
 }
 
 // Info returns a snapshot of the resident cluster.
@@ -464,16 +497,15 @@ func (cl *Cluster) Info() ClusterInfo {
 	cl.sched.gate.RLock()
 	defer cl.sched.gate.RUnlock()
 	cl.syncGraphMetrics()
-	p0 := cl.prep[0]
-	sp := p0.Space()
+	meta := cl.metaNow()
 	return ClusterInfo{
-		N:                   p0.N(),
-		M:                   p0.M(),
-		BaseN:               sp.BaseN,
-		OverflowN:           sp.OverflowN(),
-		OverflowFraction:    sp.OverflowFraction(),
-		SpaceVersion:        sp.Version,
-		Wedges:              p0.Wedges(),
+		N:                   meta.N,
+		M:                   meta.M,
+		BaseN:               meta.BaseN,
+		OverflowN:           meta.OverflowN,
+		OverflowFraction:    meta.overflowFraction(),
+		SpaceVersion:        meta.SpaceVersion,
+		Wedges:              meta.Wedges,
 		Ranks:               cl.ranks,
 		Transport:           cl.transport,
 		Queries:             cl.queries.Load(),
@@ -484,13 +516,15 @@ func (cl *Cluster) Info() ClusterInfo {
 		WriteEpochs:         cl.sched.writeEpochs.Load(),
 		CoalescedBatches:    cl.sched.absorbed.Load(),
 		QueueDepth:          cl.sched.depth.Load(),
-		KernelThreads:       cl.prep[0].KernelWorkers(),
+		KernelThreads:       meta.KernelWorkers,
 		MapTasks:            cl.mapTasks.Load(),
 		MergeTasks:          cl.mergeTasks.Load(),
-		PreOps:              p0.PreOps(),
-		PreprocessTime:      p0.PreprocessTime(),
-		CommFracPre:         p0.CommFracPre(),
+		PreOps:              meta.PreOps,
+		PreprocessTime:      meta.PreprocessTime,
+		CommFracPre:         meta.CommFracPre,
 		Persist:             cl.persistInfo(),
+		Workers:             cl.Workers(),
+		Degraded:            cl.Degraded(),
 	}
 }
 
@@ -511,7 +545,11 @@ func (cl *Cluster) Close() error {
 		<-s.drainedCh
 		s.gate.Lock()
 		cl.closed.Store(true)
-		cl.closeErr = cl.world.Close()
+		if cl.remote != nil {
+			cl.closeErr = cl.remote.close()
+		} else {
+			cl.closeErr = cl.world.Close()
+		}
 		cl.closePersist()
 		s.gate.Unlock()
 	})

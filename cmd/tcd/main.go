@@ -19,6 +19,16 @@
 // snapshot plus WAL replay, zero re-preprocessing — instead of rebuilding it
 // from -graph/-rmat (which are then only used for the very first boot).
 //
+// With -coordinator the daemon hosts no ranks itself: it listens on the
+// given address for standalone tcworker processes (see cmd/tcworker), waits
+// until every rank of the world is claimed, and then drives the same epochs
+// over real TCP to the worker fleet. Queries, updates, snapshots and WAL
+// replay are unchanged — only where the per-rank state lives differs. If a
+// worker process dies, in-flight requests fail with 503 and the cluster is
+// degraded until a replacement joins; a durable coordinator (-persist-dir)
+// then restores the fleet from its snapshot chain plus WAL tail and resumes
+// from exactly the last acknowledged write.
+//
 // The daemon is fully observable: every request is logged structurally
 // (log/slog: method, path, status, duration, trace id), GET /metrics
 // exposes the cluster's registry in Prometheus text format (query latency
@@ -37,6 +47,7 @@
 //	tcd -rmat 12 -persist-dir /var/lib/tcd      # durable: restores on boot
 //	tcd -rmat 12 -pprof -slow-query 250ms       # profiling + slow-query log
 //	tcd -follow http://primary:7171 -addr :7172 # read replica of a primary
+//	tcd -rmat 12 -coordinator :7271             # ranks live in tcworker procs
 //
 // A durable tcd (one with -persist-dir) is a replication primary: it
 // serves its snapshot chain and WAL under /repl/, and any number of
@@ -125,6 +136,8 @@ func main() {
 		maxV     = flag.Int64("max-vertices", 1<<26, "cap on the elastic vertex space (0 = unbounded)")
 		pdir     = flag.String("persist-dir", "", "durability directory: snapshot/WAL on write, restore on boot (empty = not durable)")
 		follow   = flag.String("follow", "", "run as a read-only replica of the primary tcd at this URL (bootstraps from its snapshots, tails its WAL)")
+		coord    = flag.String("coordinator", "", "run as a multi-process coordinator: host no ranks, accept tcworker processes on this address (e.g. :7271)")
+		wwait    = flag.Duration("worker-wait", time.Minute, "how long a booting coordinator waits for workers to cover every rank")
 		noSync   = flag.Bool("no-wal-sync", false, "skip the per-commit WAL fsync (crash-safe but not power-loss-safe)")
 		kthr     = flag.Int("kernel-threads", 0, "intra-rank kernel workers per rank (0 = min(GOMAXPROCS, NumCPU))")
 		usePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -148,6 +161,30 @@ func main() {
 		desc     string
 		err      error
 	)
+	var copt *tc2d.CoordinatorOptions
+	if *coord != "" {
+		// Coordinator mode: ranks live in tcworker processes that dial the
+		// -coordinator address. The resident state is theirs; this process
+		// owns scheduling, durability and the HTTP surface.
+		if *follow != "" {
+			logger.Error("startup failed", "err", errors.New("-coordinator and -follow are mutually exclusive: a coordinator drives workers, a follower replicates a primary"))
+			os.Exit(1)
+		}
+		if *tcp {
+			logger.Error("startup failed", "err", errors.New("-coordinator and -tcp are mutually exclusive: worker processes always talk real TCP"))
+			os.Exit(1)
+		}
+		copt = &tc2d.CoordinatorOptions{
+			Listen:     *coord,
+			WorkerWait: *wwait,
+			OnListen: func(a string) {
+				logger.Info("waiting for workers", "coordinator", a, "worker_wait", wwait.String())
+			},
+			Logf: func(format string, args ...any) {
+				logger.Info("pworld", "msg", fmt.Sprintf(format, args...))
+			},
+		}
+	}
 	if *follow != "" {
 		// Follower mode: the resident state is a replica of the primary's —
 		// bootstrapped from its snapshot chain, kept current by tailing its
@@ -162,7 +199,7 @@ func main() {
 			desc = "follower of " + *follow
 		}
 	} else {
-		cluster, desc, err = openOrBuildCluster(*pdir, *path, *preset, *scale, *ef, *seed, opt)
+		cluster, desc, err = openOrBuildCluster(*pdir, *path, *preset, *scale, *ef, *seed, opt, copt)
 	}
 	if err != nil {
 		logger.Error("startup failed", "err", err)
@@ -180,10 +217,14 @@ func main() {
 	if follower != nil {
 		role = "follower"
 	}
+	if copt != nil {
+		role = "coordinator"
+	}
 	logger.Info("resident cluster up",
 		"boot", time.Since(start).Round(time.Millisecond).String(),
 		"source", desc, "n", info.N, "m", info.M, "role", role,
-		"ranks", info.Ranks, "transport", info.Transport.String())
+		"ranks", info.Ranks, "workers", info.Workers,
+		"transport", info.Transport.String())
 
 	s := newServer(cluster, desc, start, *maxQ)
 	s.log = logger
@@ -191,6 +232,7 @@ func main() {
 	s.pprof = *usePprof
 	s.follower = follower
 	s.primary = *follow
+	s.coordinator = copt != nil
 	if follower == nil && info.Persist.Enabled {
 		// A durable primary serves the replication surface: followers
 		// bootstrap from /repl/snapshot/... and tail /repl/wal.
@@ -248,10 +290,20 @@ func newLogger(jsonOut bool) *slog.Logger {
 // (zero re-preprocessing; -graph/-rmat are ignored) — the rank count then
 // comes from the snapshot, so a conflicting explicit -ranks fails loudly.
 // Otherwise the graph source builds a fresh cluster, durable from its first
-// snapshot onward when -persist-dir is set.
-func openOrBuildCluster(pdir, path, preset string, scale, ef int, seed uint64, opt tc2d.Options) (*tc2d.Cluster, string, error) {
+// snapshot onward when -persist-dir is set. A non-nil copt routes every
+// path through the multi-process constructors: the resident state then
+// lives in tcworker processes, restored over the wire on boot.
+func openOrBuildCluster(pdir, path, preset string, scale, ef int, seed uint64, opt tc2d.Options, copt *tc2d.CoordinatorOptions) (*tc2d.Cluster, string, error) {
 	if pdir != "" {
-		cl, err := tc2d.OpenCluster(pdir, opt)
+		var (
+			cl  *tc2d.Cluster
+			err error
+		)
+		if copt != nil {
+			cl, err = tc2d.OpenClusterCoordinator(pdir, opt, *copt)
+		} else {
+			cl, err = tc2d.OpenCluster(pdir, opt)
+		}
 		if err == nil {
 			info := cl.Info()
 			desc := fmt.Sprintf("restored from %s (snapshot seq %d, %d WAL batches replayed)",
@@ -266,10 +318,10 @@ func openOrBuildCluster(pdir, path, preset string, scale, ef int, seed uint64, o
 	if opt.Ranks == 0 {
 		opt.Ranks = 4
 	}
-	return buildCluster(path, preset, scale, ef, seed, opt)
+	return buildCluster(path, preset, scale, ef, seed, opt, copt)
 }
 
-func buildCluster(path, preset string, scale, ef int, seed uint64, opt tc2d.Options) (*tc2d.Cluster, string, error) {
+func buildCluster(path, preset string, scale, ef int, seed uint64, opt tc2d.Options, copt *tc2d.CoordinatorOptions) (*tc2d.Cluster, string, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -280,7 +332,12 @@ func buildCluster(path, preset string, scale, ef int, seed uint64, opt tc2d.Opti
 		if err != nil {
 			return nil, "", fmt.Errorf("read %s: %w", path, err)
 		}
-		cl, err := tc2d.NewCluster(g, opt)
+		var cl *tc2d.Cluster
+		if copt != nil {
+			cl, err = tc2d.NewClusterCoordinator(g, opt, *copt)
+		} else {
+			cl, err = tc2d.NewCluster(g, opt)
+		}
 		return cl, path, err
 	}
 	var params tc2d.RMATParams
@@ -295,7 +352,15 @@ func buildCluster(path, preset string, scale, ef int, seed uint64, opt tc2d.Opti
 		return nil, "", fmt.Errorf("unknown preset %q", preset)
 	}
 	desc := fmt.Sprintf("rmat-%s s=%d ef=%d seed=%d", preset, scale, ef, seed)
-	cl, err := tc2d.NewClusterRMAT(params, scale, ef, seed, opt)
+	var (
+		cl  *tc2d.Cluster
+		err error
+	)
+	if copt != nil {
+		cl, err = tc2d.NewClusterCoordinatorRMAT(params, scale, ef, seed, opt, *copt)
+	} else {
+		cl, err = tc2d.NewClusterRMAT(params, scale, ef, seed, opt)
+	}
 	return cl, desc, err
 }
 
@@ -311,9 +376,10 @@ type server struct {
 	errors   atomic.Int64
 	draining atomic.Bool
 
-	follower *tc2d.Follower // non-nil in -follow mode: bounded reads, no writes
-	primary  string         // the -follow URL, echoed on write redirects
-	repl     http.Handler   // non-nil on a durable primary: the /repl/ surface
+	follower    *tc2d.Follower // non-nil in -follow mode: bounded reads, no writes
+	primary     string         // the -follow URL, echoed on write redirects
+	repl        http.Handler   // non-nil on a durable primary: the /repl/ surface
+	coordinator bool           // -coordinator mode: ranks live in tcworker processes
 
 	log       *slog.Logger
 	slowQuery time.Duration // warn-log requests at/over this; 0 = off
@@ -452,6 +518,21 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, body)
 		return
 	}
+	// A degraded coordinator (a worker process is gone and the world is not
+	// yet reassembled) stays alive but cannot serve: 503 with status
+	// "degraded" keeps it out of rotation until a replacement worker joins
+	// and recovery completes.
+	if s.coordinator {
+		if info := s.cluster.Info(); info.Degraded {
+			w.Header().Set("Retry-After", "1")
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status":  "degraded",
+				"role":    "coordinator",
+				"workers": info.Workers,
+			})
+			return
+		}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -530,7 +611,7 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 		res, err = s.cluster.Count(q)
 	}
 	if err != nil {
-		if s.staleRead(w, err) {
+		if s.staleRead(w, err) || s.degraded(w, err) {
 			return
 		}
 		s.fail(w, err)
@@ -596,6 +677,24 @@ func readBound(r *http.Request) (tc2d.ReadBound, error) {
 		b.MaxLag = time.Duration(ms * float64(time.Millisecond))
 	}
 	return b, nil
+}
+
+// degraded maps worker-fleet failures to 503 + Retry-After: the request hit
+// a coordinator whose world lost a worker process (ErrWorkerLost if the loss
+// interrupted this very epoch, ErrDegraded if it was refused upfront). The
+// operation did not commit; the client should retry once a replacement
+// worker has joined and recovery finished.
+func (s *server) degraded(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, tc2d.ErrDegraded) && !errors.Is(err, tc2d.ErrWorkerLost) {
+		return false
+	}
+	s.errors.Add(1)
+	w.Header().Set("Retry-After", "1")
+	s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		"error": err.Error(),
+		"code":  "degraded",
+	})
+	return true
 }
 
 // staleRead maps ErrStaleRead to 503 + Retry-After: the read was refused
@@ -666,6 +765,9 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		res, err = s.cluster.ApplyUpdates(batch)
 	}
 	if err != nil {
+		if s.degraded(w, err) {
+			return
+		}
 		s.errors.Add(1)
 		// A typed vertex-range rejection is the caller's fault, with a
 		// structured body so clients can tell it from a malformed batch.
@@ -722,6 +824,9 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		info, err = s.cluster.Snapshot()
 	}
 	if err != nil {
+		if s.degraded(w, err) {
+			return
+		}
 		s.errors.Add(1)
 		status := http.StatusInternalServerError
 		if !s.cluster.Info().Persist.Enabled {
@@ -766,7 +871,7 @@ func (s *server) handleTransitivity(w http.ResponseWriter, r *http.Request) {
 		tr, err = s.cluster.Transitivity()
 	}
 	if err != nil {
-		if s.staleRead(w, err) {
+		if s.staleRead(w, err) || s.degraded(w, err) {
 			return
 		}
 		s.fail(w, err)
@@ -814,6 +919,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"space_version":     info.SpaceVersion,
 			"m":                 info.M,
 			"wedges":            info.Wedges,
+		},
+		"workers": map[string]any{
+			"coordinator": s.coordinator,
+			"connected":   info.Workers,
+			"degraded":    info.Degraded,
 		},
 		"cluster": map[string]any{
 			"ranks":                info.Ranks,

@@ -1,8 +1,13 @@
 // k-truss decomposition built on triangle counting — one of the paper's
 // motivating applications (§1). The k-truss of a graph is the maximal
-// subgraph in which every edge participates in at least k-2 triangles; this
-// example peels a graph to its trussness levels using the library's
-// per-edge triangle supports.
+// subgraph in which every edge participates in at least k-2 triangles.
+//
+// This example peels a graph to its trussness levels against a resident
+// Cluster: the graph is preprocessed into the distributed 2D layout exactly
+// once, and every peeling round then removes the under-supported edges as a
+// delta batch — the cluster maintains the triangle count incrementally, with
+// no re-preprocessing between rounds. Because the (k+1)-truss is contained
+// in the k-truss, the levels are peeled progressively on one cluster.
 package main
 
 import (
@@ -17,31 +22,48 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("graph: %d vertices, %d edges, %d triangles\n",
-		g.NumVertices(), g.NumEdges(), tc2d.CountSequential(g))
 
-	// Iteratively remove edges whose support drops below k-2, recomputing
-	// supports on the shrinking graph until it stabilizes; the k-truss is
-	// what survives. Sample every 4th level up to k=24 to keep the demo
-	// short.
+	cl, err := tc2d.NewCluster(g, tc2d.Options{Ranks: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	info := cl.Info()
+	res, err := cl.Count(tc2d.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, %d triangles (preprocessed once, %.3gs)\n",
+		info.N, info.M, res.Triangles, info.PreprocessTime)
+
+	// Sample every 4th level up to k=24 to keep the demo short. cur mirrors
+	// the cluster's surviving subgraph; supports are computed on it
+	// sequentially to pick the edges each delta batch deletes.
+	cur := g
 	for k := 4; k <= 24; k += 4 {
-		sub := truss(g, k)
-		if sub == nil || sub.NumEdges() == 0 {
+		var tri int64
+		cur, tri = truss(cl, cur, k)
+		if cur == nil || cur.NumEdges() == 0 {
 			fmt.Printf("%2d-truss: empty\n", k)
 			break
 		}
-		fmt.Printf("%2d-truss: %8d edges, %8d triangles\n",
-			k, sub.NumEdges(), tc2d.CountSequential(sub))
+		if want := tc2d.CountSequential(cur); tri != want {
+			log.Fatalf("%d-truss: cluster says %d triangles, sequential says %d", k, tri, want)
+		}
+		fmt.Printf("%2d-truss: %8d edges, %8d triangles (delta-maintained, verified)\n",
+			k, cur.NumEdges(), tri)
 	}
 }
 
-// truss returns the k-truss of g (nil if empty).
-func truss(g *tc2d.Graph, k int) *tc2d.Graph {
-	cur := g
+// truss peels cl (mirrored locally by cur) down to its k-truss, returning
+// the surviving subgraph and the cluster's incrementally maintained triangle
+// count (nil graph if the truss is empty).
+func truss(cl *tc2d.Cluster, cur *tc2d.Graph, k int) (*tc2d.Graph, int64) {
+	tri := int64(-1)
 	for {
 		sup := tc2d.EdgeSupport(cur)
 		var keep []tc2d.Edge
-		removed := false
+		var peel []tc2d.EdgeUpdate
 		for v := int32(0); v < cur.NumVertices(); v++ {
 			for _, u := range cur.Neighbors(v) {
 				if u <= v {
@@ -51,19 +73,31 @@ func truss(g *tc2d.Graph, k int) *tc2d.Graph {
 				if int(sup[e]) >= k-2 {
 					keep = append(keep, e)
 				} else {
-					removed = true
+					peel = append(peel, tc2d.EdgeUpdate{U: v, V: u, Op: tc2d.UpdateDelete})
 				}
 			}
 		}
+		if len(peel) == 0 {
+			if tri < 0 { // nothing peeled at this level: ask the cluster
+				res, err := cl.Count(tc2d.QueryOptions{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				tri = res.Triangles
+			}
+			return cur, tri
+		}
+		res, err := cl.ApplyUpdates(peel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tri = res.Triangles
 		if len(keep) == 0 {
-			return nil
+			return nil, tri
 		}
 		next, err := tc2d.NewGraph(cur.NumVertices(), keep)
 		if err != nil {
 			log.Fatal(err)
-		}
-		if !removed {
-			return next
 		}
 		cur = next
 	}

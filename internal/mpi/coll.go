@@ -13,6 +13,7 @@ const (
 	tagScan
 	tagAllgatherv
 	tagSparse
+	tagBarrier // dissemination barrier on process-spanning worlds
 )
 
 // Op identifies a reduction operator.

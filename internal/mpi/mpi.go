@@ -36,6 +36,8 @@
 package mpi
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -46,6 +48,13 @@ import (
 
 	"tc2d/internal/obs"
 )
+
+// ErrPeerLost is the typed failure for communication that can never
+// complete because a peer process died. On process-spanning worlds every
+// rank blocked in Recv (or failing a Send) during a lost-peer event
+// unwinds with an error wrapping ErrPeerLost; callers detect it with
+// errors.Is and treat the epoch's work as void.
+var ErrPeerLost = errors.New("mpi: peer process lost")
 
 // CostModel parameterizes the communication cost model. Sending b bytes makes
 // the sender busy for Overhead + b/Beta seconds and the message arrives at the
@@ -101,10 +110,18 @@ type message struct {
 // mailbox matrix and barrier, keyed by the epoch id. Concurrent read
 // epochs each hold their own epochState, so a message sent in one epoch
 // can never be received by another.
+//
+// For process-spanning worlds the namespace also carries an abort channel:
+// when a peer process is lost, every blocked Recv of every in-flight epoch
+// must unwind (the missing messages will never arrive), so the wire closes
+// abort and receivers panic with ErrPeerLost, which the epoch machinery
+// converts into a per-rank error.
 type epochState struct {
 	id      int
 	mail    [][]chan message // mail[dst][src]
 	barrier barrierState
+	abort   chan struct{} // non-nil only on proc worlds; closed on peer loss
+	aborted bool          // guarded by World.epochMu
 }
 
 func newEpochState(p, pairCap int) *epochState {
@@ -128,6 +145,10 @@ func (w *World) getEpochState(id int) *epochState {
 		ep = newEpochState(w.size, w.pairCap)
 	}
 	ep.id = id
+	ep.aborted = false
+	if w.proc != nil {
+		ep.abort = make(chan struct{})
+	}
 	return ep
 }
 
@@ -166,7 +187,10 @@ type World struct {
 	model   CostModel
 	pairCap int
 	slots   chan struct{}
-	wire    *tcpWire // non-nil when messages travel over loopback TCP
+	wire    *tcpWire  // non-nil when messages travel over loopback TCP
+	proc    *procWire // non-nil when ranks span several OS processes
+	local   []int     // global ranks hosted by this process (nil = all)
+	isLocal []bool    // indexed by rank; nil = all local
 
 	// gate is the epoch scheduler: RunRead epochs share it, Run epochs
 	// and Close take it exclusively.
@@ -180,6 +204,8 @@ type World struct {
 	epochMu sync.RWMutex
 	active  map[int]*epochState // in-flight epochs by id (TCP routing)
 	epPool  sync.Pool           // recycled epochStates (error-free epochs only)
+	regCond *sync.Cond          // proc worlds: signals epoch registration (epochMu)
+	regStop bool                // proc worlds: wire failed or world closing (epochMu)
 
 	metrics *worldMetrics // nil when Config.Metrics was nil
 }
@@ -276,6 +302,13 @@ func (j job) run(c *Comm) {
 	defer j.wg.Done()
 	defer func() {
 		if v := recover(); v != nil {
+			// A lost peer process is an expected failure mode, not a bug in
+			// the rank body: surface it as a plain typed error rather than a
+			// panic wrapper so callers can errors.Is(err, ErrPeerLost).
+			if err, ok := v.(error); ok && errors.Is(err, ErrPeerLost) {
+				j.errs[c.rank] = err
+				return
+			}
 			buf := make([]byte, 16<<10)
 			n := runtime.Stack(buf, false)
 			j.errs[c.rank] = &RankPanicError{Rank: c.rank, Value: v, Stack: string(buf[:n])}
@@ -302,9 +335,12 @@ func (j job) run(c *Comm) {
 // means the SPMD program itself lost synchronization, so treat errors as
 // fatal to the computation they belong to.
 func (w *World) Run(fn RankFunc) ([]any, error) {
+	if w.proc != nil {
+		return nil, fmt.Errorf("mpi: Run on a process-spanning world; epoch ids must be coordinated — use RunEpochAt")
+	}
 	w.gate.Lock()
 	defer w.gate.Unlock()
-	return w.runEpoch(fn, epochWrite)
+	return w.runEpoch(autoEpochID, fn, epochWrite)
 }
 
 // RunRead executes fn on every rank concurrently as a read-only epoch:
@@ -319,9 +355,49 @@ func (w *World) Run(fn RankFunc) ([]any, error) {
 // compute sections of overlapping epochs serialize; raise ComputeSlots for
 // wall-clock throughput.
 func (w *World) RunRead(fn RankFunc) ([]any, error) {
+	if w.proc != nil {
+		return nil, fmt.Errorf("mpi: RunRead on a process-spanning world; epoch ids must be coordinated — use RunEpochAt")
+	}
 	w.gate.RLock()
 	defer w.gate.RUnlock()
-	return w.runEpoch(fn, epochRead)
+	return w.runEpoch(autoEpochID, fn, epochRead)
+}
+
+// RunEpochAt executes one epoch under an externally assigned epoch id.
+// It exists for process-spanning worlds, where every participating process
+// must run the same epoch under the same id so frames route to the right
+// namespace: a coordinator allocates ids and each process calls RunEpochAt
+// with that id. read selects the concurrent (RunRead) or exclusive (Run)
+// scheduling group. On single-process worlds it behaves like Run/RunRead
+// with a caller-chosen id; ids must never repeat while an epoch is live.
+//
+// Only the ranks local to this process execute; results and errors for
+// remote ranks are nil in the returned slice.
+func (w *World) RunEpochAt(id int, read bool, fn RankFunc) ([]any, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("mpi: RunEpochAt with negative epoch id %d", id)
+	}
+	if read {
+		w.gate.RLock()
+		defer w.gate.RUnlock()
+		return w.runEpoch(id, fn, epochRead)
+	}
+	w.gate.Lock()
+	defer w.gate.Unlock()
+	return w.runEpoch(id, fn, epochWrite)
+}
+
+// LocalRanks returns the global ranks hosted by this process (all ranks on
+// single-process worlds). The returned slice must not be modified.
+func (w *World) LocalRanks() []int {
+	if w.local != nil {
+		return w.local
+	}
+	all := make([]int, w.size)
+	for i := range all {
+		all[i] = i
+	}
+	return all
 }
 
 // epochKind distinguishes exclusive (write) epochs from concurrent read
@@ -333,6 +409,11 @@ const (
 	epochRead
 )
 
+// autoEpochID asks runEpoch to allocate the next sequential epoch id —
+// the only mode single-process worlds use. Process-spanning worlds pass a
+// coordinator-assigned id through RunEpochAt instead.
+const autoEpochID = -1
+
 // runEpoch spawns one epoch's rank workers — each with a fresh Comm
 // (virtual clock and stats reset) bound to the epoch's comm namespace —
 // and collects their results. Workers survive panics, so the world stays
@@ -340,33 +421,67 @@ const (
 // exclusive). When the world carries a registry, the epoch retains its
 // per-rank Comms and publishes their Stats before returning, instead of
 // dropping them with the epoch.
-func (w *World) runEpoch(fn RankFunc, kind epochKind) ([]any, error) {
+//
+// On process-spanning worlds only the local ranks run; remote ranks'
+// result/error slots stay nil.
+func (w *World) runEpoch(id int, fn RankFunc, kind epochKind) ([]any, error) {
 	w.lifeMu.Lock()
 	if w.closed {
 		w.lifeMu.Unlock()
 		return nil, fmt.Errorf("mpi: Run on closed world")
 	}
 	w.epochs++
-	id := w.epochs
+	if id == autoEpochID {
+		id = w.epochs
+	}
 	w.lifeMu.Unlock()
+
+	if pw := w.proc; pw != nil {
+		if err := pw.downErr(); err != nil {
+			return nil, err
+		}
+	}
 
 	ep := w.getEpochState(id)
 	w.epochMu.Lock()
+	if w.active[id] != nil {
+		w.epochMu.Unlock()
+		return nil, fmt.Errorf("mpi: epoch id %d already in flight", id)
+	}
 	w.active[id] = ep
+	if w.regCond != nil {
+		// Wire failure between the downErr check above and this
+		// registration would miss this epoch: abort it at birth so its
+		// receives unwind instead of waiting for frames that never come.
+		if w.regStop && !ep.aborted {
+			ep.aborted = true
+			close(ep.abort)
+		}
+		w.regCond.Broadcast()
+	}
 	w.epochMu.Unlock()
 
 	start := time.Now()
 	results := make([]any, w.size)
 	errs := make([]error, w.size)
 	comms := make([]*Comm, w.size)
-	var wg sync.WaitGroup
-	wg.Add(w.size)
-	j := job{fn: fn, ep: ep, results: results, errs: errs, wg: &wg}
-	for r := 0; r < w.size; r++ {
+	j := job{fn: fn, ep: ep, results: results, errs: errs, wg: &sync.WaitGroup{}}
+	spawn := func(r int) {
 		comms[r] = &Comm{world: w, rank: r, ep: ep}
 		go j.run(comms[r])
 	}
-	wg.Wait()
+	if w.local == nil {
+		j.wg.Add(w.size)
+		for r := 0; r < w.size; r++ {
+			spawn(r)
+		}
+	} else {
+		j.wg.Add(len(w.local))
+		for _, r := range w.local {
+			spawn(r)
+		}
+	}
+	j.wg.Wait()
 
 	if m := w.metrics; m != nil {
 		epochs, seconds := m.epochsWrite, m.secondsWrite
@@ -376,6 +491,9 @@ func (w *World) runEpoch(fn RankFunc, kind epochKind) ([]any, error) {
 		epochs.Inc()
 		seconds.Observe(time.Since(start).Seconds())
 		for r, c := range comms {
+			if c == nil {
+				continue // remote rank
+			}
 			s := c.stats
 			m.commSeconds[r].Add(s.CommTime)
 			m.compSeconds[r].Add(s.CompTime)
@@ -424,8 +542,23 @@ func (w *World) Close() error {
 			w.wire.wg.Wait()
 			w.closeErr = w.wire.err
 		}
+		if w.proc != nil {
+			w.closeErr = w.proc.shutdown()
+		}
 	}
 	return w.closeErr
+}
+
+// Abort declares a process-spanning world down without waiting for a
+// socket error: every in-flight epoch unwinds with ErrPeerLost and later
+// epochs fail fast. A coordinator uses this to kill surviving workers'
+// worlds when a peer was evicted by heartbeat timeout — its connections
+// may still look healthy while the process behind them is gone. No-op on
+// single-process worlds and after a previous failure.
+func (w *World) Abort(reason string) {
+	if w.proc != nil {
+		w.proc.fail(fmt.Errorf("mpi: world aborted: %s", reason))
+	}
 }
 
 // Run is a convenience that creates a world, runs fn on p ranks for a single
@@ -537,6 +670,10 @@ func (c *Comm) SendOwn(dst, tag int, data []byte) {
 		w.send(c.rank, dst, c.ep.id, msg)
 		return
 	}
+	if pw := c.world.proc; pw != nil && !c.world.isLocal[dst] {
+		pw.send(c.rank, dst, c.ep.id, msg)
+		return
+	}
 	c.ep.mail[dst][c.rank] <- msg
 }
 
@@ -547,7 +684,23 @@ func (c *Comm) Recv(src, tag int) []byte {
 	if src < 0 || src >= c.world.size {
 		panic(fmt.Sprintf("mpi: rank %d recv from invalid rank %d", c.rank, src))
 	}
-	msg := <-c.ep.mail[c.rank][src]
+	var msg message
+	if ab := c.ep.abort; ab != nil {
+		// Prefer a message already delivered over an abort: the select
+		// below is only reached when the mailbox is empty, so a racing
+		// abort can never discard data the peer managed to send.
+		select {
+		case msg = <-c.ep.mail[c.rank][src]:
+		default:
+			select {
+			case msg = <-c.ep.mail[c.rank][src]:
+			case <-ab:
+				panic(fmt.Errorf("mpi: rank %d recv from %d aborted: %w", c.rank, src, ErrPeerLost))
+			}
+		}
+	} else {
+		msg = <-c.ep.mail[c.rank][src]
+	}
 	if msg.tag != tag {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from rank %d, got %d", c.rank, tag, src, msg.tag))
 	}
@@ -566,14 +719,42 @@ func (c *Comm) SendRecv(dst, tag int, data []byte, src int) []byte {
 
 // Barrier blocks until every rank has entered it. All virtual clocks advance
 // to the maximum entrant clock plus a log-depth latency term.
+//
+// On single-process worlds the barrier is a shared-memory rendezvous. On
+// process-spanning worlds no memory is shared between ranks, so the barrier
+// runs as a dissemination exchange over the message transport instead: in
+// round k each rank sends its clock to (rank+2^k) mod p and receives from
+// (rank-2^k) mod p, folding in the max; after ceil(log2 p) rounds every
+// rank holds the global maximum and every rank is known to have entered.
 func (c *Comm) Barrier() {
 	p := c.world.size
 	depth := 0
 	if p > 1 {
 		depth = bits.Len(uint(p - 1))
 	}
+	if c.world.proc != nil {
+		c.disseminationBarrier(p)
+		return
+	}
 	t := c.ep.barrier.wait(c.vt)
 	c.advanceComm(t + float64(depth)*c.world.model.Alpha)
+}
+
+// disseminationBarrier synchronizes the ranks of a process-spanning world
+// with pure message passing on a reserved tag. Per-pair FIFO delivery makes
+// one tag safe across consecutive barriers: a rank cannot enter barrier n+1
+// before finishing barrier n, and its round-k partner in barrier n+1 only
+// consumes frames it explicitly receives from that pair, in send order.
+func (c *Comm) disseminationBarrier(p int) {
+	var buf [8]byte
+	for k := 1; k < p; k <<= 1 {
+		dst := (c.rank + k) % p
+		src := (c.rank - k + p) % p
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c.vt))
+		got := c.SendRecv(dst, tagBarrier, buf[:], src)
+		t := math.Float64frombits(binary.LittleEndian.Uint64(got))
+		c.advanceComm(t)
+	}
 }
 
 // barrierState is a reusable counting barrier that also computes the maximum

@@ -1,0 +1,257 @@
+package pworld
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tc2d/internal/mpi"
+)
+
+// sumDispatch is the test op set: "sum" allreduces rank+offset across the
+// world and returns it; "echo" returns the rank-addressed payload.
+func sumDispatch(c *mpi.Comm, op string, common, mine []byte) ([]byte, error) {
+	switch op {
+	case "sum":
+		off := int64(0)
+		if len(common) == 8 {
+			off = int64(binary.LittleEndian.Uint64(common))
+		}
+		total := c.AllreduceInt64(int64(c.Rank())+off, mpi.OpSum)
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(total))
+		return out[:], nil
+	case "echo":
+		return mine, nil
+	}
+	return nil, nil
+}
+
+func startCoordinator(t *testing.T, world int, onEvent func(Event)) *Coordinator {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(ln, Config{
+		World:             world,
+		Format:            1,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  400 * time.Millisecond,
+		OnEvent:           onEvent,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func startWorker(t *testing.T, c *Coordinator, ranks int) (context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- RunWorker(ctx, WorkerConfig{
+			Coordinator: c.ln.Addr().String(),
+			Ranks:       ranks,
+			Format:      1,
+			MPI:         mpi.Config{Model: mpi.ZeroCostModel()},
+			Dispatch:    sumDispatch,
+			Logf:        t.Logf,
+		})
+	}()
+	t.Cleanup(cancel)
+	return cancel, errCh
+}
+
+func waitReady(t *testing.T, c *Coordinator, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Ready() == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("world ready=%v never reached", want)
+}
+
+func TestCoordinatorAssemblyAndEpochs(t *testing.T) {
+	c := startCoordinator(t, 4, nil)
+	startWorker(t, c, 2)
+	startWorker(t, c, 2)
+	waitReady(t, c, true)
+
+	// Exclusive epoch: allreduce over all 4 ranks (0+1+2+3 = 6).
+	got, err := c.Run(false, "sum", nil, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("want 4 rank payloads, got %d", len(got))
+	}
+	for r, b := range got {
+		if v := int64(binary.LittleEndian.Uint64(b)); v != 6 {
+			t.Fatalf("rank %d sum %d, want 6", r, v)
+		}
+	}
+
+	// Rank-addressed payloads come back from the right rank.
+	per := map[int][]byte{0: []byte("a"), 3: []byte("b")}
+	got, err = c.Run(false, "echo", nil, per)
+	if err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	if string(got[0]) != "a" || string(got[3]) != "b" || got[1] != nil {
+		t.Fatalf("echo payloads wrong: %v", got)
+	}
+
+	// Concurrent read epochs.
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Run(true, "sum", nil, nil)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("read epoch: %v", err)
+		}
+	}
+}
+
+func TestWorkerLossFailsCallsAndRejoinRecovers(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	c := startCoordinator(t, 2, func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	cancel1, err1 := startWorker(t, c, 1)
+	startWorker(t, c, 1)
+	waitReady(t, c, true)
+
+	if _, err := c.Run(false, "sum", nil, nil); err != nil {
+		t.Fatalf("healthy Run: %v", err)
+	}
+
+	// Graceful leave drops the world to not-ready.
+	cancel1()
+	if err := <-err1; err != nil {
+		t.Fatalf("graceful leave returned %v", err)
+	}
+	waitReady(t, c, false)
+	if _, err := c.Run(false, "sum", nil, nil); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("want ErrNotReady, got %v", err)
+	}
+
+	// A replacement joins, gets the freed rank, and the mesh rebuilds.
+	startWorker(t, c, 1)
+	waitReady(t, c, true)
+	got, err := c.Run(false, "sum", nil, nil)
+	if err != nil {
+		t.Fatalf("post-rejoin Run: %v", err)
+	}
+	if v := int64(binary.LittleEndian.Uint64(got[0])); v != 1 {
+		t.Fatalf("post-rejoin sum %d, want 1", v)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var kinds []EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []EventKind{EventJoined, EventJoined, EventReady, EventLost, EventJoined, EventReady}
+	if len(kinds) != len(want) {
+		t.Fatalf("events %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestHeartbeatEviction joins a raw fake worker that answers the handshake
+// but ignores pings; the coordinator must evict it.
+func TestHeartbeatEviction(t *testing.T) {
+	lost := make(chan Event, 1)
+	c := startCoordinator(t, 1, func(ev Event) {
+		if ev.Kind == EventLost {
+			select {
+			case lost <- ev:
+			default:
+			}
+		}
+	})
+	conn, err := net.Dial("tcp", c.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&wireMsg{Kind: "join", WantRanks: 1, Format: 1, MeshAddr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	var welcome wireMsg
+	if err := dec.Decode(&welcome); err != nil || welcome.Reject != "" {
+		t.Fatalf("welcome: %v %q", err, welcome.Reject)
+	}
+	select {
+	case ev := <-lost:
+		if ev.WorkerID != welcome.WorkerID {
+			t.Fatalf("lost worker %d, want %d", ev.WorkerID, welcome.WorkerID)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("silent worker never evicted")
+	}
+	_, _, timeouts := c.Stats()
+	if timeouts != 1 {
+		t.Fatalf("timeout evictions = %d, want 1", timeouts)
+	}
+}
+
+func TestJoinRejections(t *testing.T) {
+	c := startCoordinator(t, 2, nil)
+	dialJoin := func(want int, format int) string {
+		conn, err := net.Dial("tcp", c.ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+		if err := enc.Encode(&wireMsg{Kind: "join", WantRanks: want, Format: format, MeshAddr: "x"}); err != nil {
+			t.Fatal(err)
+		}
+		var w wireMsg
+		if err := dec.Decode(&w); err != nil {
+			t.Fatal(err)
+		}
+		return w.Reject
+	}
+	if r := dialJoin(1, 99); r == "" {
+		t.Fatal("format mismatch not rejected")
+	}
+	if r := dialJoin(3, 1); r == "" {
+		t.Fatal("oversized rank request not rejected")
+	}
+	startWorker(t, c, 2)
+	waitReady(t, c, true)
+	if r := dialJoin(1, 1); r == "" {
+		t.Fatal("join into full world not rejected")
+	}
+}

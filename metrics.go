@@ -89,6 +89,15 @@ type clusterMetrics struct {
 	replReceivedBytes  *obs.Counter
 	replBootstraps     *obs.Counter
 	replBootstrapBytes *obs.Counter
+
+	// Multi-process deployment (coordinator clusters only, registered
+	// lazily by initWorkerMetrics so in-process clusters expose no worker
+	// series).
+	workersConnected *obs.Gauge
+	workerJoins      *obs.Counter
+	workerLosses     *obs.Counter
+	workerRejoins    *obs.Counter
+	workerRecoverSec *obs.Histogram
 }
 
 // rebuildModes are the mode labels of tc_rebuilds_total.
@@ -213,6 +222,54 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 	return m
 }
 
+// initWorkerMetrics registers the coordinator-only worker series. Called
+// once by the coordinator constructors, before any worker can join, so the
+// event callbacks always find resolved handles.
+func (m *clusterMetrics) initWorkerMetrics() {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.workersConnected = m.reg.Gauge("tc_workers_connected",
+		"Worker processes currently connected to this coordinator.")
+	m.workerJoins = m.reg.Counter("tc_worker_joins_total",
+		"Worker processes admitted by this coordinator (initial joins and rejoins).")
+	m.workerLosses = m.reg.Counter("tc_worker_losses_total",
+		"Worker processes lost (crash, heartbeat timeout, or graceful leave).")
+	m.workerRejoins = m.reg.Counter("tc_worker_recoveries_total",
+		"Completed worker recoveries (snapshot chain + WAL tail replayed to a reassembled world).")
+	m.workerRecoverSec = m.reg.Histogram("tc_worker_recovery_seconds",
+		"Wall time of one worker recovery (restore epochs + WAL tail replay).",
+		obs.DurationBuckets)
+}
+
+// observeWorkerJoin and observeWorkerLoss maintain the membership series;
+// observeWorkerRecovery records one completed recovery. All are inert
+// unless initWorkerMetrics ran.
+func (m *clusterMetrics) observeWorkerJoin(connected int64) {
+	if m == nil || m.workersConnected == nil {
+		return
+	}
+	m.workersConnected.Set(float64(connected))
+	m.workerJoins.Inc()
+}
+
+func (m *clusterMetrics) observeWorkerLoss(connected int64, reason string) {
+	if m == nil || m.workersConnected == nil {
+		return
+	}
+	m.workersConnected.Set(float64(connected))
+	m.workerLosses.Inc()
+	_ = reason // reasons appear in the coordinator log, not as a label (unbounded cardinality)
+}
+
+func (m *clusterMetrics) observeWorkerRecovery(d time.Duration) {
+	if m == nil || m.workerRejoins == nil {
+		return
+	}
+	m.workerRejoins.Inc()
+	m.workerRecoverSec.Observe(d.Seconds())
+}
+
 // setRole publishes tc_role{role=...} = 1 — the process-role marker
 // scrapers group dashboards by. Called once, when the cluster takes a
 // replication role (primary or follower); standalone clusters expose no
@@ -290,11 +347,11 @@ func (cl *Cluster) syncGraphMetrics() {
 	if m == nil || m.reg == nil {
 		return
 	}
-	p0 := cl.prep[0]
-	m.vertices.Set(float64(p0.N()))
-	m.edges.Set(float64(p0.M()))
+	meta := cl.metaNow()
+	m.vertices.Set(float64(meta.N))
+	m.edges.Set(float64(meta.M))
 	m.triangles.Set(float64(cl.lastTri.Load()))
-	m.overflow.Set(float64(p0.Space().OverflowN()))
+	m.overflow.Set(float64(meta.OverflowN))
 }
 
 // Metrics returns the cluster's observability registry — the one passed in

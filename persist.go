@@ -231,9 +231,12 @@ func (cl *Cluster) initPersist(opt Options, snapFrac float64) error {
 	}
 	wal.SetObserver(cl.metrics.walObserver())
 	// Track per-row/label dirtiness from the start, so every snapshot after
-	// the initial base can be a churn-proportional delta.
-	for _, pr := range cl.prep {
-		pr.EnableSnapshotTracking()
+	// the initial base can be a churn-proportional delta. Coordinator
+	// clusters enabled tracking worker-side in the build epoch instead.
+	if cl.remote == nil {
+		for _, pr := range cl.prep {
+			pr.EnableSnapshotTracking()
+		}
 	}
 	cl.persist = &persister{
 		dir:       opt.PersistDir,
@@ -451,31 +454,52 @@ func (cl *Cluster) snapshotSharedTraced(parent *obs.Span) (*SnapshotInfo, error)
 		return nil, err
 	}
 	encodeSpan := parent.StartChild("encode_write")
-	prep := cl.prep
-	results, err := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
-		var blob []byte
-		c.Compute(func() {
-			if useDelta {
-				blob = core.EncodePreparedDelta(prep[c.Rank()])
-			} else {
-				blob = core.EncodePrepared(prep[c.Rank()])
+	var bytes int64
+	if cl.remote != nil {
+		// The workers encode their blobs inside one read epoch; the
+		// coordinator writes them to its own disk (the durable state lives
+		// with the coordinator, which is what makes worker recovery and
+		// replacement possible).
+		blobs, rerr := cl.remote.encodeSnap(useDelta)
+		if rerr == nil {
+			for r := 0; r < cl.ranks; r++ {
+				if rerr = w.WriteRank(r, blobs[r]); rerr != nil {
+					break
+				}
+				bytes += int64(len(blobs[r]))
 			}
-		})
-		if err := w.WriteRank(c.Rank(), blob); err != nil {
-			return nil, err
 		}
-		return int64(len(blob)), nil
-	})
+		err = rerr
+	} else {
+		prep := cl.prep
+		results, rerr := cl.world.RunRead(func(c *mpi.Comm) (any, error) {
+			var blob []byte
+			c.Compute(func() {
+				if useDelta {
+					blob = core.EncodePreparedDelta(prep[c.Rank()])
+				} else {
+					blob = core.EncodePrepared(prep[c.Rank()])
+				}
+			})
+			if err := w.WriteRank(c.Rank(), blob); err != nil {
+				return nil, err
+			}
+			return int64(len(blob)), nil
+		})
+		if rerr == nil {
+			for _, r := range results {
+				bytes += r.(int64)
+			}
+		}
+		err = rerr
+	}
 	encodeSpan.End()
 	if err != nil {
 		w.Abort()
 		return nil, err
 	}
-	var bytes int64
-	for _, r := range results {
-		bytes += r.(int64)
-	}
-	qr, qc, summa := prep[0].GridShape()
+	meta := cl.metaNow()
+	qr, qc, summa := meta.QR, meta.QC, meta.SUMMA
 	tri := cl.lastTri.Load()
 	m := snapshot.Manifest{
 		AppliedSeq:   seq,
@@ -504,10 +528,18 @@ func (cl *Cluster) snapshotSharedTraced(parent *obs.Span) (*SnapshotInfo, error)
 	commitSpan.End()
 	// The snapshot is durable: the dirty row/label sets it consumed reset,
 	// so the NEXT delta carries only churn from here on. Safe without the
-	// epoch: the caller's gate excludes writers, and readers never touch
-	// the tracking maps.
-	for _, pr := range prep {
-		pr.ResetSnapshotDirty()
+	// epoch in-process: the caller's gate excludes writers, and readers
+	// never touch the tracking maps. Worker-resident state needs an epoch
+	// to reach; a failure there is not fatal (the next delta merely carries
+	// stale dirtiness, i.e. is larger than necessary).
+	if cl.remote != nil {
+		if rerr := cl.remote.snapDone(); rerr != nil && cl.remote.logf != nil {
+			cl.remote.log("tc2d: snapshot dirty-reset epoch failed (next delta will over-approximate): %v", rerr)
+		}
+	} else {
+		for _, pr := range cl.prep {
+			pr.ResetSnapshotDirty()
+		}
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()

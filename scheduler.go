@@ -197,7 +197,7 @@ func opClass(op delta.Op) int {
 // merge: it and everything behind it stay pending for the next drain,
 // preserving FIFO semantics.
 func (cl *Cluster) coalesce(pending []*writeReq) (accepted []*writeReq, entries []mergedEntry, deferred []*writeReq) {
-	n := cl.prep[0].N()
+	n := cl.metaNow().N
 	edgeIndex := make(map[[2]int32]int)
 	remIndex := make(map[int32]int)
 	accTouched := make(map[int32]bool) // endpoints of accepted edge entries
@@ -369,18 +369,29 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 	for i, e := range entries {
 		super[i] = e.upd
 	}
-	prep := cl.prep
 	epochStart := time.Now()
 	endEpoch := spanAll(accepted, "write_epoch")
-	results, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
-		return delta.Apply(c, prep[c.Rank()], super)
-	})
-	endEpoch()
-	if err != nil {
-		failAll(err)
-		return
+	var epochRes *delta.Result
+	if cl.remote != nil {
+		var err error
+		epochRes, err = cl.remote.apply(super)
+		endEpoch()
+		if err != nil {
+			failAll(err)
+			return
+		}
+	} else {
+		prep := cl.prep
+		results, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
+			return delta.Apply(c, prep[c.Rank()], super)
+		})
+		endEpoch()
+		if err != nil {
+			failAll(err)
+			return
+		}
+		epochRes = results[0].(*delta.Result)
 	}
-	epochRes := results[0].(*delta.Result)
 	cl.sched.writeEpochs.Add(1)
 	cl.sched.absorbed.Add(int64(len(accepted)))
 	cl.updates.Add(int64(len(accepted)))
@@ -465,7 +476,7 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 	// overflow region past the threshold means too many labels sit outside
 	// the degree order.
 	stale := float64(cl.appliedEdges) > cl.rebuildFraction*float64(cl.baseM)
-	if sp := cl.prep[0].Space(); float64(sp.OverflowN()) > cl.rebuildFraction*float64(sp.BaseN) {
+	if meta := cl.metaNow(); float64(meta.OverflowN) > cl.rebuildFraction*float64(meta.BaseN) {
 		stale = true
 	}
 	var rebuildErr error
@@ -481,7 +492,7 @@ func (cl *Cluster) applyMerged(accepted []*writeReq, entries []mergedEntry) {
 		} else {
 			for _, r := range perReq {
 				r.Rebuilt = true
-				r.PreOps = cl.prep[0].PreOps()
+				r.PreOps = cl.metaNow().PreOps
 			}
 		}
 	}

@@ -23,7 +23,11 @@ type UpdateOp = delta.Op
 
 // Update operations.
 const (
+	// UpdateInsert adds the undirected edge (U,V); re-inserting an existing
+	// edge is a counted no-op.
 	UpdateInsert = delta.OpInsert
+	// UpdateDelete removes the undirected edge (U,V); deleting a missing
+	// edge is a counted no-op.
 	UpdateDelete = delta.OpDelete
 	// UpdateAddVertices grows the vertex space by U fresh ids (V unused);
 	// the contiguous allocation is reported in UpdateResult.VertexBase.
@@ -167,9 +171,9 @@ func (cl *Cluster) Rebuild() error {
 // pass when the degree-dirty set is small enough and the full pipeline
 // otherwise. sched.gate is held exclusively.
 func (cl *Cluster) rebuildLocked() error {
-	prep := cl.prep
+	meta := cl.metaNow()
 	if cl.incrementalFraction > 0 &&
-		float64(prep[0].DegreeDirtyCount()) <= cl.incrementalFraction*float64(prep[0].N()) {
+		float64(meta.DegreeDirty) <= cl.incrementalFraction*float64(meta.N) {
 		return cl.rebuildIncrementalLocked()
 	}
 	return cl.rebuildFullLocked()
@@ -178,28 +182,38 @@ func (cl *Cluster) rebuildLocked() error {
 // rebuildIncrementalLocked re-sorts only the degree-dirty labels, mutating
 // the resident state in place. sched.gate is held exclusively.
 func (cl *Cluster) rebuildIncrementalLocked() error {
-	prep := cl.prep
-	stats := make([]*delta.RebuildStats, cl.ranks)
-	_, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
-		st, err := delta.RebuildIncremental(c, prep[c.Rank()])
+	var st *delta.RebuildStats
+	if cl.remote != nil {
+		var err error
+		st, err = cl.remote.rebuildIncremental()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		stats[c.Rank()] = st
-		return nil, nil
-	})
-	if err != nil {
-		return err
+	} else {
+		prep := cl.prep
+		stats := make([]*delta.RebuildStats, cl.ranks)
+		_, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
+			s, err := delta.RebuildIncremental(c, prep[c.Rank()])
+			if err != nil {
+				return nil, err
+			}
+			stats[c.Rank()] = s
+			return nil, nil
+		})
+		if err != nil {
+			return err
+		}
+		st = stats[0]
 	}
 	cl.appliedEdges = 0
-	cl.baseM = prep[0].M()
+	cl.baseM = cl.metaNow().M
 	cl.rebuilds.Add(1)
 	cl.incRebuilds.Add(1)
 	// Saved ops versus the last full pipeline run over this graph; the
 	// baseline is 0 (no claimed saving) on a restored cluster until a full
 	// rebuild re-establishes it.
-	saved := cl.fullPreOps - stats[0].Ops
-	cl.metrics.observeRebuild("incremental", saved, stats[0].Moved)
+	saved := cl.fullPreOps - st.Ops
+	cl.metrics.observeRebuild("incremental", saved, st.Moved)
 	cl.syncGraphMetrics()
 	return nil
 }
@@ -207,32 +221,45 @@ func (cl *Cluster) rebuildIncrementalLocked() error {
 // rebuildFullLocked swaps the resident state for a freshly prepared one.
 // sched.gate is held exclusively.
 func (cl *Cluster) rebuildFullLocked() error {
-	prep := cl.prep
-	newPrep := make([]*core.Prepared, cl.ranks)
-	_, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
-		np, err := delta.Rebuild(c, prep[c.Rank()])
-		if err != nil {
-			return nil, err
+	if cl.remote != nil {
+		// The workers swap in their freshly prepared state themselves; the
+		// Track flag re-enables dirty tracking on it (the coordinator cannot
+		// reach into worker memory afterwards).
+		if err := cl.remote.rebuildFull(cl.persist != nil); err != nil {
+			return err
 		}
-		newPrep[c.Rank()] = np
-		return nil, nil
-	})
-	if err != nil {
-		return err
+	} else {
+		prep := cl.prep
+		newPrep := make([]*core.Prepared, cl.ranks)
+		_, err := cl.world.Run(func(c *mpi.Comm) (any, error) {
+			np, err := delta.Rebuild(c, prep[c.Rank()])
+			if err != nil {
+				return nil, err
+			}
+			newPrep[c.Rank()] = np
+			return nil, nil
+		})
+		if err != nil {
+			return err
+		}
+		cl.prep = newPrep
+		// The replacement state shares nothing with what any snapshot
+		// captured: delta snapshots cannot express the swap, so the next
+		// snapshot must be a fresh base — and the new state needs its own
+		// dirty tracking.
+		if cl.persist != nil {
+			for _, pr := range newPrep {
+				pr.EnableSnapshotTracking()
+			}
+		}
 	}
-	cl.prep = newPrep
+	meta := cl.metaNow()
 	cl.appliedEdges = 0
-	cl.baseM = newPrep[0].M()
-	cl.fullPreOps = newPrep[0].PreOps()
+	cl.baseM = meta.M
+	cl.fullPreOps = meta.PreOps
 	cl.rebuilds.Add(1)
 	cl.metrics.observeRebuild("full", 0, 0)
-	// The replacement state shares nothing with what any snapshot captured:
-	// delta snapshots cannot express the swap, so the next snapshot must be
-	// a fresh base — and the new state needs its own dirty tracking.
 	if cl.persist != nil {
-		for _, pr := range newPrep {
-			pr.EnableSnapshotTracking()
-		}
 		cl.persist.noteFullRebuild()
 	}
 	cl.syncGraphMetrics()
